@@ -1,0 +1,171 @@
+package spq
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Integration tests exercising the full public-API pipeline on realistic
+// mini-scenarios, including correlated VG functions (Figure 1 semantics).
+
+// figure1DB reproduces the paper's Figure 1 table through the public API:
+// trades on three stocks at two horizons, same-stock trades sharing a GBM
+// price path per scenario.
+func figure1DB(t *testing.T) (*DB, []int, []float64) {
+	t.Helper()
+	stocks := []struct {
+		price float64
+		vol   float64
+	}{
+		{234, 0.3}, {140, 0.2}, {258, 0.5},
+	}
+	horizons := []int{1, 5}
+	n := len(stocks) * len(horizons)
+	rel := NewRelation("stock_investments", n)
+	price := make([]float64, n)
+	group := make([]int, n)
+	horizon := make([]int, n)
+	for i := 0; i < n; i++ {
+		s := i / len(horizons)
+		price[i] = stocks[s].price
+		group[i] = s
+		horizon[i] = horizons[i%len(horizons)]
+	}
+	if err := rel.AddDet("price", price); err != nil {
+		t.Fatal(err)
+	}
+	vg := &GroupedVG{
+		AttrID: 1,
+		Group:  group,
+		Eval: func(st *Stream, tuple int) float64 {
+			s := group[tuple]
+			g := GBM{S0: stocks[s].price, Mu: 0.08, Sigma: stocks[s].vol, Dt: 1.0 / 252}
+			path := make([]float64, 5)
+			g.Path(st, path)
+			return path[horizon[tuple]-1] - stocks[s].price
+		},
+	}
+	if err := rel.AddStoch("gain", vg); err != nil {
+		t.Fatal(err)
+	}
+	db := NewDB()
+	db.MeansM = 2000
+	if err := db.Register(rel); err != nil {
+		t.Fatal(err)
+	}
+	return db, group, price
+}
+
+func TestFigure1EndToEnd(t *testing.T) {
+	db, group, price := figure1DB(t)
+	res, err := db.Query(`
+		SELECT PACKAGE(*) AS Portfolio FROM stock_investments
+		SUCH THAT
+			SUM(price) <= 1000 AND
+			SUM(gain) >= -10 WITH PROBABILITY >= 0.95
+		MAXIMIZE EXPECTED SUM(gain)`, &Options{
+		Seed: 7, ValidationM: 5000, InitialM: 30, MaxM: 120,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("Figure 1 query infeasible: surpluses %v", res.Surpluses)
+	}
+	// Budget.
+	total := 0.0
+	for id, c := range res.Multiplicities() {
+		total += price[id] * float64(c)
+		_ = group
+	}
+	if total > 1000+1e-9 {
+		t.Fatalf("budget violated: %v", total)
+	}
+	// The VaR constraint holds with the validated probability.
+	if res.Surpluses[0] < 0 {
+		t.Fatalf("p-surplus %v < 0 on a feasible result", res.Surpluses[0])
+	}
+	// Loss tolerance: validated Pr(gain ≥ −10) = 0.95 + surplus ≤ 1.
+	if p := 0.95 + res.Surpluses[0]; p > 1+1e-9 {
+		t.Fatalf("implied probability %v > 1", p)
+	}
+}
+
+func TestCorrelatedGainsObservable(t *testing.T) {
+	db, group, _ := figure1DB(t)
+	rel, _ := db.Table("stock_investments")
+	src := NewSource(3)
+	// Tuples 0 and 1 are the same stock: their gains must be positively
+	// correlated across scenarios; tuples 0 and 2 are different stocks.
+	var same, cross float64
+	var v0s, v1s, v2s []float64
+	for j := 0; j < 2000; j++ {
+		v0, _ := rel.Value(src, "gain", 0, j)
+		v1, _ := rel.Value(src, "gain", 1, j)
+		v2, _ := rel.Value(src, "gain", 2, j)
+		v0s, v1s, v2s = append(v0s, v0), append(v1s, v1), append(v2s, v2)
+	}
+	same = correlation(v0s, v1s)
+	cross = correlation(v0s, v2s)
+	if group[0] != group[1] {
+		t.Fatal("layout changed")
+	}
+	if same < 0.3 {
+		t.Fatalf("same-stock correlation %v too weak", same)
+	}
+	if math.Abs(cross) > 0.15 {
+		t.Fatalf("cross-stock correlation %v should be near zero", cross)
+	}
+}
+
+func correlation(a, b []float64) float64 {
+	n := float64(len(a))
+	var sa, sb, saa, sbb, sab float64
+	for i := range a {
+		sa += a[i]
+		sb += b[i]
+		saa += a[i] * a[i]
+		sbb += b[i] * b[i]
+		sab += a[i] * b[i]
+	}
+	cov := sab/n - (sa/n)*(sb/n)
+	return cov / math.Sqrt((saa/n-(sa/n)*(sa/n))*(sbb/n-(sb/n)*(sb/n)))
+}
+
+func TestGeneralFormThroughFacade(t *testing.T) {
+	db := testDB(t)
+	res, err := db.Query(`SELECT PACKAGE(*) AS P FROM trades SUCH THAT
+		COUNT(*) BETWEEN 1 AND 6 AND
+		(SELECT COUNT(*) WHERE price >= 60 FROM P) <= 1 AND
+		SUM(gain) >= -5 WITH PROBABILITY >= 0.6
+		MAXIMIZE EXPECTED SUM(gain)`, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("general-form query infeasible")
+	}
+	price, _ := res.Rel.Det("price")
+	expensive := 0
+	for i, x := range res.X {
+		if x > 0 && price[i] >= 60 {
+			expensive += int(x + 0.5)
+		}
+	}
+	if expensive > 1 {
+		t.Fatalf("filtered COUNT violated: %d expensive tuples", expensive)
+	}
+}
+
+func TestExplainMentionsGeneralForm(t *testing.T) {
+	db := testDB(t)
+	out, err := db.Explain(`SELECT PACKAGE(*) AS P FROM trades SUCH THAT
+		(SELECT SUM(gain) WHERE price >= 60 FROM P) >= -5 WITH PROBABILITY >= 0.8`, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "probabilistic constraints: 1") {
+		t.Fatalf("Explain output:\n%s", out)
+	}
+}

@@ -1,0 +1,210 @@
+// Package core implements the paper's query-evaluation algorithms: the
+// Naïve SAA optimize/validate loop (Algorithm 1), SummarySearch
+// (Algorithm 2) with CSA-Solve (Algorithm 3), out-of-sample validation
+// (§3.2), and the (1+ε)-approximation machinery of §5.4 / Appendix B.
+package core
+
+import (
+	"math"
+	"time"
+
+	"spq/internal/milp"
+	"spq/internal/rng"
+	"spq/internal/translate"
+)
+
+// Options configure query evaluation. The defaults mirror the paper's
+// experimental setup at reduced scale.
+type Options struct {
+	// Seed drives the optimization-scenario stream; repeated runs with
+	// different seeds reproduce the paper's i.i.d. run protocol.
+	Seed uint64
+	// ValidationSeed drives the out-of-sample validation stream. It is kept
+	// separate so all runs validate against the same scenario population.
+	// The zero value selects a fixed internal constant.
+	ValidationSeed uint64
+	// ValidationM is M̂, the number of out-of-sample validation scenarios
+	// (paper: 10⁶–10⁷; default here 10000).
+	ValidationM int
+	// InitialM is the starting number of optimization scenarios (default 20).
+	InitialM int
+	// IncrementM is the per-iteration scenario increment m (default ==
+	// InitialM).
+	IncrementM int
+	// MaxM caps the optimization scenarios before declaring failure
+	// (paper: 1000).
+	MaxM int
+	// FixedZ pins the number of summaries (the per-workload Z of §6.2.1);
+	// 0 lets SummarySearch escalate Z per Algorithm 2.
+	FixedZ int
+	// IncrementZ is the Z escalation step z (default 1).
+	IncrementZ int
+	// Epsilon is the user approximation bound ε (§5.4). +Inf (the default)
+	// accepts the first validation-feasible solution, which is the paper's
+	// time-to-feasibility protocol.
+	Epsilon float64
+	// MaxCSAIters caps CSA-Solve iterations per (M, Z) pair (default 25).
+	MaxCSAIters int
+	// DisableAcceleration turns off the §5.5 monotone-objective summary
+	// modification (enabled by default) for ablations.
+	DisableAcceleration bool
+	// TimeLimit bounds the whole evaluation; 0 means none. Mirrors the
+	// paper's 4-hour cutoff.
+	TimeLimit time.Duration
+	// SolverTime bounds each MILP solve (default 30s).
+	SolverTime time.Duration
+	// SolverNodes caps branch-and-bound nodes per solve (default 200000).
+	SolverNodes int
+	// RelGap is the MILP relative optimality gap (default 1e-4).
+	RelGap float64
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{}
+	if o != nil {
+		out = *o
+	}
+	if out.ValidationSeed == 0 {
+		out.ValidationSeed = 0x5eed0a11da7e
+	}
+	if out.ValidationM == 0 {
+		out.ValidationM = 10000
+	}
+	if out.InitialM == 0 {
+		out.InitialM = 20
+	}
+	if out.IncrementM == 0 {
+		out.IncrementM = out.InitialM
+	}
+	if out.MaxM == 0 {
+		out.MaxM = 1000
+	}
+	if out.IncrementZ == 0 {
+		out.IncrementZ = 1
+	}
+	if out.Epsilon == 0 {
+		out.Epsilon = math.Inf(1)
+	}
+	if out.MaxCSAIters == 0 {
+		out.MaxCSAIters = 25
+	}
+	if out.SolverTime == 0 {
+		out.SolverTime = 30 * time.Second
+	}
+	if out.SolverNodes == 0 {
+		out.SolverNodes = 200000
+	}
+	if out.RelGap == 0 {
+		out.RelGap = 1e-4
+	}
+	return out
+}
+
+// Iteration records one optimize/validate round for diagnostics and the
+// experiment harness.
+type Iteration struct {
+	M            int
+	Z            int // 0 for Naïve
+	SolverStatus milp.Status
+	Coefficients int
+	SolveTime    time.Duration
+	ValidateTime time.Duration
+	Feasible     bool
+	Objective    float64
+	Surpluses    []float64
+}
+
+// Solution is the result of evaluating a stochastic package query.
+type Solution struct {
+	// X holds tuple multiplicities indexed like the (WHERE-filtered)
+	// relation; nil when no solution was found.
+	X []float64
+	// Feasible reports validation feasibility (§3.2).
+	Feasible bool
+	// Objective is the validation estimate of the objective in the query's
+	// original sense (expected sum, or satisfaction probability).
+	Objective float64
+	// EpsUpper is the ε′ upper bound on the approximation error (§5.4);
+	// +Inf when no usable bound exists.
+	EpsUpper float64
+	// Surpluses holds the per-probabilistic-constraint p-surplus r_k.
+	Surpluses []float64
+	// SurplusCIHalf holds 95% confidence half-widths on the satisfied
+	// fractions behind Surpluses (a-posteriori feasibility confidence).
+	SurplusCIHalf []float64
+	// M and Z are the final scenario/summary counts.
+	M int
+	Z int
+	// Iterations is the full optimize/validate history.
+	Iterations []Iteration
+	// TotalTime is the end-to-end wall-clock time.
+	TotalTime time.Duration
+}
+
+// PackageSize returns Σ x_i.
+func (s *Solution) PackageSize() float64 {
+	total := 0.0
+	for _, x := range s.X {
+		total += x
+	}
+	return total
+}
+
+// runner holds per-evaluation state shared by the algorithms.
+type runner struct {
+	silp   *translate.SILP
+	opts   Options
+	optSrc rng.Source
+	valSrc rng.Source
+
+	start    time.Time
+	deadline time.Time
+	hasDL    bool
+
+	// Cached objective inner-function value range probe for ω bounds.
+	probed   bool
+	sLo, sHi float64
+	sizeLo   float64
+	sizeHi   float64
+}
+
+func newRunner(silp *translate.SILP, o *Options) *runner {
+	opts := o.withDefaults()
+	r := &runner{
+		silp:   silp,
+		opts:   opts,
+		optSrc: rng.NewSource(opts.Seed).Derive(1),
+		valSrc: rng.NewSource(opts.ValidationSeed).Derive(2),
+		start:  time.Now(),
+	}
+	if opts.TimeLimit > 0 {
+		r.deadline = r.start.Add(opts.TimeLimit)
+		r.hasDL = true
+	}
+	r.sizeLo, r.sizeHi = packageSizeBounds(silp)
+	return r
+}
+
+func (r *runner) timeUp() bool {
+	return r.hasDL && time.Now().After(r.deadline)
+}
+
+// solverOptions builds per-solve MILP options respecting the remaining
+// global budget, optionally seeding the incumbent.
+func (r *runner) solverOptions(initial []float64) *milp.Options {
+	limit := r.opts.SolverTime
+	if r.hasDL {
+		if rem := time.Until(r.deadline); rem < limit {
+			limit = rem
+		}
+		if limit <= 0 {
+			limit = time.Millisecond
+		}
+	}
+	return &milp.Options{
+		TimeLimit: limit,
+		MaxNodes:  r.opts.SolverNodes,
+		RelGap:    r.opts.RelGap,
+		InitialX:  initial,
+	}
+}

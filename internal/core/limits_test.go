@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// Tests for time/iteration budget handling — the machinery behind the
+// paper's 4-hour cutoff protocol ("when the time limit expires, we
+// interrupt CPLEX and get the best solution found so far").
+
+func TestTinyTimeLimitReturnsGracefully(t *testing.T) {
+	silp := portfolioSILP(t, 20, easyQuery)
+	opts := smallOptions(1)
+	opts.TimeLimit = time.Millisecond
+	start := time.Now()
+	sol, err := SummarySearch(silp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol == nil {
+		t.Fatal("nil solution under time pressure")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("time-limited run took %v", elapsed)
+	}
+}
+
+func TestTinyTimeLimitNaive(t *testing.T) {
+	silp := portfolioSILP(t, 20, easyQuery)
+	opts := smallOptions(1)
+	opts.TimeLimit = time.Millisecond
+	start := time.Now()
+	sol, err := Naive(silp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol == nil {
+		t.Fatal("nil solution under time pressure")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("time-limited run took %v", elapsed)
+	}
+}
+
+func TestIterationRecordsPopulated(t *testing.T) {
+	silp := portfolioSILP(t, 12, easyQuery)
+	sol, err := SummarySearch(silp, smallOptions(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Iterations) == 0 {
+		t.Fatal("no iteration records")
+	}
+	for i, it := range sol.Iterations {
+		if it.M <= 0 {
+			t.Fatalf("iteration %d has M=%d", i, it.M)
+		}
+		if it.Z < 1 {
+			t.Fatalf("SummarySearch iteration %d has Z=%d", i, it.Z)
+		}
+		if len(it.Surpluses) != len(silp.ProbCons) {
+			t.Fatalf("iteration %d has %d surpluses", i, len(it.Surpluses))
+		}
+	}
+}
+
+func TestNaiveIterationRecords(t *testing.T) {
+	silp := portfolioSILP(t, 12, easyQuery)
+	sol, err := Naive(silp, smallOptions(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Iterations) == 0 {
+		t.Fatal("no iteration records")
+	}
+	for i, it := range sol.Iterations {
+		if it.Z != 0 {
+			t.Fatalf("Naive iteration %d has Z=%d, want 0", i, it.Z)
+		}
+		if it.Coefficients <= 0 {
+			t.Fatalf("iteration %d missing DILP size", i)
+		}
+	}
+	// Naive DILP sizes grow with M across iterations.
+	if len(sol.Iterations) >= 2 {
+		first, last := sol.Iterations[0], sol.Iterations[len(sol.Iterations)-1]
+		if last.M > first.M && last.Coefficients <= first.Coefficients {
+			t.Fatalf("DILP did not grow with M: %d@M=%d vs %d@M=%d",
+				first.Coefficients, first.M, last.Coefficients, last.M)
+		}
+	}
+}
+
+func TestMaxCSAItersBoundsWork(t *testing.T) {
+	silp := portfolioSILP(t, 12, easyQuery)
+	opts := smallOptions(7)
+	opts.MaxCSAIters = 2
+	sol, err := SummarySearch(silp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per (M, Z) pair at most 2 validations; the run can still escalate M.
+	perPair := map[[2]int]int{}
+	for _, it := range sol.Iterations {
+		perPair[[2]int{it.M, it.Z}]++
+	}
+	for pair, count := range perPair {
+		if count > 2 {
+			t.Fatalf("pair %v ran %d CSA iterations, cap was 2", pair, count)
+		}
+	}
+}
+
+func TestZeroOptionsUseDefaults(t *testing.T) {
+	opts := (&Options{}).withDefaults()
+	if opts.ValidationM != 10000 || opts.InitialM != 20 || opts.MaxM != 1000 {
+		t.Fatalf("defaults wrong: %+v", opts)
+	}
+	if opts.IncrementM != opts.InitialM {
+		t.Fatalf("IncrementM default should follow InitialM")
+	}
+	if !isInf(opts.Epsilon) {
+		t.Fatalf("Epsilon default should be +Inf, got %v", opts.Epsilon)
+	}
+	if opts.SolverTime != 30*time.Second {
+		t.Fatalf("SolverTime default = %v", opts.SolverTime)
+	}
+}
+
+func isInf(f float64) bool { return f > 1e308 }

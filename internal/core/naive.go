@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"spq/internal/milp"
+	"spq/internal/translate"
+)
+
+// Naive evaluates a stochastic package query with the Algorithm 1
+// optimize/validate loop: formulate SAA_{Q,M}, solve, validate against M̂
+// out-of-sample scenarios, and grow M until validation succeeds or a limit
+// is reached. The returned Solution reports the best package found (possibly
+// infeasible) along with the full iteration history.
+func Naive(silp *translate.SILP, o *Options) (*Solution, error) {
+	r := newRunner(silp, o)
+	sol := &Solution{EpsUpper: infEps()}
+
+	m := r.opts.InitialM
+	sets, objSet, err := silp.GenerateSets(r.optSrc, 0, m)
+	if err != nil {
+		return nil, err
+	}
+	var best *Solution
+	for {
+		model, vm, err := silp.FormulateSAA(sets, objSet)
+		if err != nil {
+			return nil, err
+		}
+		solveStart := time.Now()
+		res, err := milp.Solve(model, r.solverOptions(nil))
+		if err != nil {
+			return nil, fmt.Errorf("core: naive solve with M=%d: %w", m, err)
+		}
+		iter := Iteration{
+			M:            m,
+			SolverStatus: res.Status,
+			Coefficients: res.Coefficients,
+			SolveTime:    time.Since(solveStart),
+		}
+		if res.X != nil {
+			x := vm.PackageOf(res.X)
+			valStart := time.Now()
+			val, err := r.validate(x)
+			if err != nil {
+				return nil, err
+			}
+			iter.ValidateTime = time.Since(valStart)
+			iter.Feasible = val.Feasible
+			iter.Objective = val.Objective
+			iter.Surpluses = val.Surpluses
+			sol.Iterations = append(sol.Iterations, iter)
+			cand := r.asSolution(x, val, m, 0, sol.Iterations)
+			if better(silp, cand, best) {
+				best = cand
+			}
+			if val.Feasible {
+				best.TotalTime = time.Since(r.start)
+				return best, nil
+			}
+		} else {
+			sol.Iterations = append(sol.Iterations, iter)
+		}
+		if m >= r.opts.MaxM || r.timeUp() {
+			break
+		}
+		grow := r.opts.IncrementM
+		if m+grow > r.opts.MaxM {
+			grow = r.opts.MaxM - m
+		}
+		if err := silp.ExtendSets(r.optSrc, sets, objSet, grow); err != nil {
+			return nil, err
+		}
+		m += grow
+	}
+	// Failure: report the best (infeasible) attempt, or an empty solution.
+	if best == nil {
+		best = sol
+	}
+	best.M = m // report the final scenario count reached before giving up
+	best.TotalTime = time.Since(r.start)
+	return best, nil
+}
+
+// asSolution packages a validated point into a Solution snapshot.
+func (r *runner) asSolution(x []float64, val *Validation, m, z int, iters []Iteration) *Solution {
+	return &Solution{
+		X:             append([]float64(nil), x...),
+		Feasible:      val.Feasible,
+		Objective:     val.Objective,
+		EpsUpper:      val.EpsUpper,
+		Surpluses:     append([]float64(nil), val.Surpluses...),
+		SurplusCIHalf: append([]float64(nil), val.CIHalf...),
+		M:             m,
+		Z:             z,
+		Iterations:    iters,
+	}
+}
+
+// better reports whether a should replace b as the incumbent: feasibility
+// first, then objective value in the query's original sense.
+func better(silp *translate.SILP, a, b *Solution) bool {
+	if a == nil {
+		return false
+	}
+	if b == nil || b.X == nil {
+		return true
+	}
+	if a.Feasible != b.Feasible {
+		return a.Feasible
+	}
+	if silp.Maximize {
+		return a.Objective > b.Objective
+	}
+	return a.Objective < b.Objective
+}
+
+func infEps() float64 { return math.Inf(1) }

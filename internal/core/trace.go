@@ -1,0 +1,44 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// RenderHistory renders the optimize/validate iteration history as an
+// aligned text table — the per-iteration view of the algorithm's
+// convergence (scenario growth for Naïve; α/Z adaptation for
+// SummarySearch).
+func (s *Solution) RenderHistory() string {
+	if len(s.Iterations) == 0 {
+		return "(no iterations recorded)\n"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%4s %6s %4s %-10s %10s %12s %12s %10s  %s\n",
+		"#", "M", "Z", "solver", "coeffs", "solve", "validate", "objective", "surpluses")
+	for i, it := range s.Iterations {
+		status := "-"
+		if it.SolveTime > 0 || it.Coefficients > 0 {
+			status = it.SolverStatus.String()
+		}
+		var sp strings.Builder
+		for k, r := range it.Surpluses {
+			if k > 0 {
+				sp.WriteByte(' ')
+			}
+			fmt.Fprintf(&sp, "%+.3f", r)
+		}
+		feas := " "
+		if it.Feasible {
+			feas = "*"
+		}
+		fmt.Fprintf(&sb, "%3d%s %6d %4d %-10s %10d %12s %12s %10.4g  %s\n",
+			i+1, feas, it.M, it.Z, status, it.Coefficients,
+			it.SolveTime.Round(time.Microsecond),
+			it.ValidateTime.Round(time.Microsecond),
+			it.Objective, sp.String())
+	}
+	sb.WriteString("(* = validation-feasible iteration)\n")
+	return sb.String()
+}

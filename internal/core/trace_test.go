@@ -1,0 +1,53 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"spq/internal/milp"
+)
+
+func TestRenderHistoryEmpty(t *testing.T) {
+	s := &Solution{}
+	if out := s.RenderHistory(); !strings.Contains(out, "no iterations") {
+		t.Fatalf("empty history rendering: %q", out)
+	}
+}
+
+func TestRenderHistoryColumns(t *testing.T) {
+	s := &Solution{Iterations: []Iteration{
+		{
+			M: 20, Z: 1, SolverStatus: milp.StatusOptimal, Coefficients: 420,
+			SolveTime: 12 * time.Millisecond, ValidateTime: 3 * time.Millisecond,
+			Feasible: false, Objective: 1.25, Surpluses: []float64{-0.07},
+		},
+		{
+			M: 20, Z: 1, SolverStatus: milp.StatusOptimal, Coefficients: 420,
+			SolveTime: 9 * time.Millisecond, ValidateTime: 3 * time.Millisecond,
+			Feasible: true, Objective: 1.02, Surpluses: []float64{0.013},
+		},
+	}}
+	out := s.RenderHistory()
+	for _, want := range []string{"optimal", "420", "-0.070", "+0.013", "*"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("history missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + 2 rows + legend
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderHistoryFromRealRun(t *testing.T) {
+	silp := portfolioSILP(t, 12, easyQuery)
+	sol, err := SummarySearch(silp, smallOptions(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sol.RenderHistory()
+	if !strings.Contains(out, "M") || len(out) < 50 {
+		t.Fatalf("real history too thin:\n%s", out)
+	}
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// recordJSON is the serialized form of a Record; durations are stored in
+// nanoseconds for lossless round trips.
+type recordJSON struct {
+	Workload  string  `json:"workload"`
+	Query     string  `json:"query"`
+	Method    string  `json:"method"`
+	Param     string  `json:"param,omitempty"`
+	Value     int     `json:"value,omitempty"`
+	Run       int     `json:"run"`
+	Feasible  bool    `json:"feasible"`
+	Objective float64 `json:"objective"`
+	Maximize  bool    `json:"maximize"`
+	TimeNS    int64   `json:"time_ns"`
+	FinalM    int     `json:"final_m"`
+	FinalZ    int     `json:"final_z"`
+	Iters     int     `json:"iters"`
+	Err       string  `json:"err,omitempty"`
+}
+
+// WriteJSON writes experiment records as a JSON array, suitable for
+// archiving runs and re-aggregating later.
+func WriteJSON(w io.Writer, records []Record) error {
+	out := make([]recordJSON, len(records))
+	for i, r := range records {
+		out[i] = recordJSON{
+			Workload: r.Workload, Query: r.Query, Method: string(r.Method),
+			Param: r.Param, Value: r.Value, Run: r.Run,
+			Feasible: r.Feasible, Objective: r.Objective, Maximize: r.Maximize,
+			TimeNS: r.Time.Nanoseconds(), FinalM: r.FinalM, FinalZ: r.FinalZ,
+			Iters: r.Iters, Err: r.Err,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON reads records previously written by WriteJSON.
+func ReadJSON(r io.Reader) ([]Record, error) {
+	var raw []recordJSON
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("experiments: decoding records: %w", err)
+	}
+	out := make([]Record, len(raw))
+	for i, j := range raw {
+		out[i] = Record{
+			Workload: j.Workload, Query: j.Query, Method: Method(j.Method),
+			Param: j.Param, Value: j.Value, Run: j.Run,
+			Feasible: j.Feasible, Objective: j.Objective, Maximize: j.Maximize,
+			Time: time.Duration(j.TimeNS), FinalM: j.FinalM, FinalZ: j.FinalZ,
+			Iters: j.Iters, Err: j.Err,
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	in := []Record{
+		{
+			Workload: "galaxy", Query: "Q1", Method: MethodSummarySearch,
+			Param: "M", Value: 40, Run: 2, Feasible: true,
+			Objective: 48.57, Maximize: false, Time: 38 * time.Millisecond,
+			FinalM: 40, FinalZ: 1, Iters: 7,
+		},
+		{
+			Workload: "tpch", Query: "Q8", Method: MethodNaive,
+			Feasible: false, Time: 19 * time.Millisecond, Err: "",
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d records, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestJSONAggregatesAfterReload(t *testing.T) {
+	in := []Record{
+		{Workload: "w", Query: "Q1", Method: MethodSummarySearch, Feasible: true, Objective: 10, Maximize: true, Time: time.Second},
+		{Workload: "w", Query: "Q1", Method: MethodNaive, Feasible: false, Time: time.Second},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := Aggregate(out)
+	if len(pts) != 2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+}
+
+func TestReadJSONMalformed(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+func TestWriteJSONStableFields(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, []Record{{Workload: "w", Query: "Q1", Method: MethodNaive, Time: time.Millisecond}}); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, field := range []string{`"workload"`, `"query"`, `"method"`, `"time_ns"`, `"feasible"`} {
+		if !strings.Contains(s, field) {
+			t.Fatalf("serialized record missing %s:\n%s", field, s)
+		}
+	}
+}

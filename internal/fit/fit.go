@@ -1,0 +1,220 @@
+// Package fit implements the curve fitting CSA-Solve uses to choose the
+// conservativeness parameter α (§5.2 of the paper): the history of
+// (α, p-surplus) observations is fit with an arctangent model
+//
+//	r(α) ≈ a·atan(b·α + c) + d
+//
+// by damped Gauss–Newton (Levenberg–Marquardt), and the equation R(α) = 0 is
+// solved for the minimally conservative α. A monotone linear-interpolation
+// fallback handles short histories and degenerate fits.
+package fit
+
+import (
+	"math"
+	"sort"
+)
+
+// Arctan is the fitted model r(α) = A·atan(B·α + C) + D.
+type Arctan struct {
+	A, B, C, D float64
+}
+
+// Eval evaluates the model at x.
+func (f Arctan) Eval(x float64) float64 {
+	return f.A*math.Atan(f.B*x+f.C) + f.D
+}
+
+// Zero solves f(α) = 0 analytically. ok is false when the zero does not
+// exist (|D/A| ≥ π/2 puts the target outside atan's range, or the model is
+// degenerate).
+func (f Arctan) Zero() (float64, bool) {
+	if f.A == 0 || f.B == 0 {
+		return 0, false
+	}
+	t := -f.D / f.A
+	if math.Abs(t) >= math.Pi/2 {
+		return 0, false
+	}
+	alpha := (math.Tan(t) - f.C) / f.B
+	if math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+		return 0, false
+	}
+	return alpha, true
+}
+
+// FitArctan fits the arctangent model to the observations by
+// Levenberg–Marquardt. It requires at least 4 points (the model has 4
+// parameters); ok reports whether the fit converged to a usable model.
+func FitArctan(xs, ys []float64) (Arctan, bool) {
+	n := len(xs)
+	if n < 4 || n != len(ys) {
+		return Arctan{}, false
+	}
+	minX, maxX := xs[0], xs[0]
+	minY, maxY := ys[0], ys[0]
+	for i := 1; i < n; i++ {
+		minX = math.Min(minX, xs[i])
+		maxX = math.Max(maxX, xs[i])
+		minY = math.Min(minY, ys[i])
+		maxY = math.Max(maxY, ys[i])
+	}
+	if maxX-minX < 1e-12 {
+		return Arctan{}, false
+	}
+	// Initial guess: amplitude spans the y-range, the transition is centered
+	// in the x-range with width comparable to it.
+	f := Arctan{
+		A: math.Max((maxY-minY)/math.Pi, 1e-6),
+		B: 4 / (maxX - minX),
+		C: -2 * (minX + maxX) / (maxX - minX),
+		D: (minY + maxY) / 2,
+	}
+	lambda := 1e-3
+	cost := sumSq(f, xs, ys)
+	for iter := 0; iter < 200; iter++ {
+		// Build normal equations JᵀJ + λI and Jᵀr for the 4 parameters.
+		var jtj [4][4]float64
+		var jtr [4]float64
+		for i := 0; i < n; i++ {
+			u := f.B*xs[i] + f.C
+			den := 1 + u*u
+			grad := [4]float64{
+				math.Atan(u),      // ∂/∂A
+				f.A * xs[i] / den, // ∂/∂B
+				f.A / den,         // ∂/∂C
+				1,                 // ∂/∂D
+			}
+			resid := ys[i] - f.Eval(xs[i])
+			for a := 0; a < 4; a++ {
+				jtr[a] += grad[a] * resid
+				for b := 0; b < 4; b++ {
+					jtj[a][b] += grad[a] * grad[b]
+				}
+			}
+		}
+		for a := 0; a < 4; a++ {
+			jtj[a][a] += lambda * (jtj[a][a] + 1e-12)
+		}
+		delta, ok := solve4(jtj, jtr)
+		if !ok {
+			lambda *= 10
+			if lambda > 1e12 {
+				break
+			}
+			continue
+		}
+		trial := Arctan{A: f.A + delta[0], B: f.B + delta[1], C: f.C + delta[2], D: f.D + delta[3]}
+		trialCost := sumSq(trial, xs, ys)
+		if trialCost < cost {
+			f = trial
+			improvement := cost - trialCost
+			cost = trialCost
+			lambda = math.Max(lambda/3, 1e-12)
+			if improvement < 1e-14 {
+				break
+			}
+		} else {
+			lambda *= 10
+			if lambda > 1e12 {
+				break
+			}
+		}
+	}
+	if math.IsNaN(cost) || math.IsInf(cost, 0) {
+		return Arctan{}, false
+	}
+	return f, true
+}
+
+func sumSq(f Arctan, xs, ys []float64) float64 {
+	s := 0.0
+	for i := range xs {
+		d := ys[i] - f.Eval(xs[i])
+		s += d * d
+	}
+	return s
+}
+
+// solve4 solves a 4×4 linear system by Gaussian elimination with partial
+// pivoting.
+func solve4(a [4][4]float64, b [4]float64) ([4]float64, bool) {
+	var aug [4][5]float64
+	for i := 0; i < 4; i++ {
+		copy(aug[i][:4], a[i][:])
+		aug[i][4] = b[i]
+	}
+	for col := 0; col < 4; col++ {
+		piv, pv := -1, 1e-14
+		for r := col; r < 4; r++ {
+			if v := math.Abs(aug[r][col]); v > pv {
+				piv, pv = r, v
+			}
+		}
+		if piv < 0 {
+			return [4]float64{}, false
+		}
+		aug[col], aug[piv] = aug[piv], aug[col]
+		for r := 0; r < 4; r++ {
+			if r == col {
+				continue
+			}
+			fct := aug[r][col] / aug[col][col]
+			for c := col; c < 5; c++ {
+				aug[r][c] -= fct * aug[col][c]
+			}
+		}
+	}
+	var out [4]float64
+	for i := 0; i < 4; i++ {
+		out[i] = aug[i][4] / aug[i][i]
+	}
+	return out, true
+}
+
+// ZeroCrossingLinear estimates the zero of the underlying relationship by
+// linear interpolation between the bracketing observations (after sorting by
+// x). When all observations share a sign, it extrapolates from the two
+// points nearest the crossing direction. ok is false with fewer than 2
+// points or when the data give no usable slope.
+func ZeroCrossingLinear(xs, ys []float64) (float64, bool) {
+	n := len(xs)
+	if n < 2 || n != len(ys) {
+		return 0, false
+	}
+	type pt struct{ x, y float64 }
+	pts := make([]pt, n)
+	for i := range xs {
+		pts[i] = pt{xs[i], ys[i]}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].x < pts[j].x })
+	// Bracketing pair: adjacent points with opposite signs.
+	for i := 0; i+1 < n; i++ {
+		y0, y1 := pts[i].y, pts[i+1].y
+		if y0 == 0 {
+			return pts[i].x, true
+		}
+		if (y0 < 0 && y1 >= 0) || (y0 > 0 && y1 <= 0) {
+			if y1 == y0 {
+				return pts[i].x, true
+			}
+			t := -y0 / (y1 - y0)
+			return pts[i].x + t*(pts[i+1].x-pts[i].x), true
+		}
+	}
+	if pts[n-1].y == 0 {
+		return pts[n-1].x, true
+	}
+	// Extrapolate from the last two distinct-x points.
+	i0, i1 := n-2, n-1
+	for i0 >= 0 && pts[i1].x-pts[i0].x < 1e-12 {
+		i0--
+	}
+	if i0 < 0 {
+		return 0, false
+	}
+	slope := (pts[i1].y - pts[i0].y) / (pts[i1].x - pts[i0].x)
+	if math.Abs(slope) < 1e-12 {
+		return 0, false
+	}
+	return pts[i1].x - pts[i1].y/slope, true
+}

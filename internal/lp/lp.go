@@ -1,0 +1,227 @@
+// Package lp implements a revised primal simplex solver for linear programs
+// with general variable and row bounds:
+//
+//	minimize    cᵀx
+//	subject to  rowLo ≤ A x ≤ rowHi
+//	            varLo ≤   x ≤ varHi
+//
+// It is the LP substrate under the branch-and-bound MILP solver in
+// internal/milp, which together replace the commercial solver (IBM CPLEX)
+// used by the paper. The design targets the shape of package-query programs:
+// few rows (constraints plus scenario/summary indicators) and many columns
+// (one decision variable per tuple), so the solver keeps a dense m×m basis
+// inverse with rank-1 eta updates and prices columns in sparse form.
+//
+// Internally every row i gets a logical variable r_i with bounds
+// [rowLo_i, rowHi_i], and the system is A x − r = 0. The initial basis is the
+// logical identity; a composite (infeasibility-minimizing) phase 1 drives the
+// basics into their bounds, then phase 2 optimizes the true objective.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Inf is the bound value representing +infinity. Use -Inf for free lower
+// bounds.
+var Inf = math.Inf(1)
+
+// Status reports the disposition of a solve.
+type Status int
+
+const (
+	// StatusOptimal means an optimal basic feasible solution was found.
+	StatusOptimal Status = iota
+	// StatusInfeasible means the constraints admit no solution.
+	StatusInfeasible
+	// StatusUnbounded means the objective decreases without bound.
+	StatusUnbounded
+	// StatusIterLimit means the iteration limit was hit before convergence.
+	StatusIterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusIterLimit:
+		return "iteration-limit"
+	default:
+		return fmt.Sprintf("lp.Status(%d)", int(s))
+	}
+}
+
+// entry is a nonzero coefficient in a structural column.
+type entry struct {
+	row  int
+	coef float64
+}
+
+// Problem is an LP instance. Build it with NewProblem, SetObj, SetVarBounds
+// and AddRow; it may then be solved repeatedly (possibly with per-solve
+// variable-bound overrides, which is how branch-and-bound fixes variables)
+// without rebuilding.
+type Problem struct {
+	nvars int
+	obj   []float64
+	cols  [][]entry
+	varLo []float64
+	varHi []float64
+	rowLo []float64
+	rowHi []float64
+}
+
+// NewProblem creates a problem with nvars structural variables, each with
+// default bounds [0, +Inf) and zero objective coefficient.
+func NewProblem(nvars int) *Problem {
+	p := &Problem{
+		nvars: nvars,
+		obj:   make([]float64, nvars),
+		cols:  make([][]entry, nvars),
+		varLo: make([]float64, nvars),
+		varHi: make([]float64, nvars),
+	}
+	for j := range p.varHi {
+		p.varHi[j] = Inf
+	}
+	return p
+}
+
+// NumVars returns the number of structural variables.
+func (p *Problem) NumVars() int { return p.nvars }
+
+// NumRows returns the number of constraint rows.
+func (p *Problem) NumRows() int { return len(p.rowLo) }
+
+// SetObj sets the objective coefficient of variable j.
+func (p *Problem) SetObj(j int, c float64) { p.obj[j] = c }
+
+// Obj returns the objective coefficient of variable j.
+func (p *Problem) Obj(j int) float64 { return p.obj[j] }
+
+// SetVarBounds sets the bounds of variable j. lo may be -Inf and hi may be
+// Inf.
+func (p *Problem) SetVarBounds(j int, lo, hi float64) {
+	p.varLo[j] = lo
+	p.varHi[j] = hi
+}
+
+// VarBounds returns the bounds of variable j.
+func (p *Problem) VarBounds(j int) (lo, hi float64) { return p.varLo[j], p.varHi[j] }
+
+// AddRow appends the constraint lo ≤ Σ coefs[k]·x[idxs[k]] ≤ hi and returns
+// its row index. Duplicate variable indices within one row are summed.
+func (p *Problem) AddRow(idxs []int, coefs []float64, lo, hi float64) int {
+	if len(idxs) != len(coefs) {
+		panic("lp: AddRow index/coefficient length mismatch")
+	}
+	row := len(p.rowLo)
+	p.rowLo = append(p.rowLo, lo)
+	p.rowHi = append(p.rowHi, hi)
+	seen := make(map[int]int, len(idxs))
+	for k, j := range idxs {
+		if j < 0 || j >= p.nvars {
+			panic(fmt.Sprintf("lp: AddRow variable index %d out of range", j))
+		}
+		if coefs[k] == 0 {
+			continue
+		}
+		if pos, dup := seen[j]; dup {
+			p.cols[j][pos].coef += coefs[k]
+			continue
+		}
+		p.cols[j] = append(p.cols[j], entry{row: row, coef: coefs[k]})
+		seen[j] = len(p.cols[j]) - 1
+	}
+	return row
+}
+
+// NumCoefficients returns the number of stored nonzero structural
+// coefficients; it is the paper's DILP "size" measure (Θ(NMK) for SAA vs
+// Θ(NZK) for CSA).
+func (p *Problem) NumCoefficients() int {
+	n := 0
+	for _, col := range p.cols {
+		n += len(col)
+	}
+	return n
+}
+
+// Options tune the simplex.
+type Options struct {
+	// MaxIters caps total simplex iterations across both phases.
+	// 0 means a default proportional to the problem size.
+	MaxIters int
+	// FeasTol is the bound-violation tolerance (default 1e-7).
+	FeasTol float64
+	// OptTol is the reduced-cost optimality tolerance (default 1e-9).
+	OptTol float64
+}
+
+func (o *Options) withDefaults(m, n int) Options {
+	out := Options{}
+	if o != nil {
+		out = *o
+	}
+	if out.MaxIters == 0 {
+		out.MaxIters = 200*(m+n) + 10000
+	}
+	if out.FeasTol == 0 {
+		out.FeasTol = 1e-7
+	}
+	if out.OptTol == 0 {
+		out.OptTol = 1e-9
+	}
+	return out
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status Status
+	// X holds the structural variable values (valid when Status is
+	// StatusOptimal; best-effort otherwise).
+	X []float64
+	// Obj is cᵀX.
+	Obj float64
+	// Iters is the number of simplex iterations performed.
+	Iters int
+}
+
+// Solve optimizes the problem with its stored bounds.
+func Solve(p *Problem, opts *Options) (*Solution, error) {
+	return SolveWithBounds(p, nil, nil, opts)
+}
+
+// SolveWithBounds optimizes with variable bounds overridden by varLo/varHi
+// (either may be nil to use the problem's own). The problem itself is not
+// mutated, so concurrent solves over one Problem with different bound
+// vectors are safe.
+func SolveWithBounds(p *Problem, varLo, varHi []float64, opts *Options) (*Solution, error) {
+	if varLo == nil {
+		varLo = p.varLo
+	}
+	if varHi == nil {
+		varHi = p.varHi
+	}
+	if len(varLo) != p.nvars || len(varHi) != p.nvars {
+		return nil, errors.New("lp: bound override length mismatch")
+	}
+	for j := 0; j < p.nvars; j++ {
+		if varLo[j] > varHi[j] {
+			return &Solution{Status: StatusInfeasible, X: make([]float64, p.nvars)}, nil
+		}
+	}
+	for i := range p.rowLo {
+		if p.rowLo[i] > p.rowHi[i] {
+			return &Solution{Status: StatusInfeasible, X: make([]float64, p.nvars)}, nil
+		}
+	}
+	s := newSimplex(p, varLo, varHi, opts)
+	return s.solve()
+}

@@ -1,0 +1,440 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"spq/internal/rng"
+)
+
+func solveOrFail(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := Solve(p, nil)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return sol
+}
+
+func wantOptimal(t *testing.T, sol *Solution, obj float64, tol float64) {
+	t.Helper()
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if math.Abs(sol.Obj-obj) > tol {
+		t.Fatalf("objective = %v, want %v (x=%v)", sol.Obj, obj, sol.X)
+	}
+}
+
+func TestTrivialBoxMinimum(t *testing.T) {
+	// min x0 + 2 x1 with 1 ≤ x ≤ 5 and no rows: optimum at lower bounds.
+	p := NewProblem(2)
+	p.SetObj(0, 1)
+	p.SetObj(1, 2)
+	p.SetVarBounds(0, 1, 5)
+	p.SetVarBounds(1, 1, 5)
+	sol := solveOrFail(t, p)
+	wantOptimal(t, sol, 3, 1e-9)
+}
+
+func TestMaximizeViaNegation(t *testing.T) {
+	// max x0 + x1 s.t. x0 + 2 x1 ≤ 4, 3 x0 + x1 ≤ 6, x ≥ 0.
+	// Optimum x = (1.6, 1.2), value 2.8.
+	p := NewProblem(2)
+	p.SetObj(0, -1)
+	p.SetObj(1, -1)
+	p.AddRow([]int{0, 1}, []float64{1, 2}, -Inf, 4)
+	p.AddRow([]int{0, 1}, []float64{3, 1}, -Inf, 6)
+	sol := solveOrFail(t, p)
+	wantOptimal(t, sol, -2.8, 1e-8)
+	if math.Abs(sol.X[0]-1.6) > 1e-7 || math.Abs(sol.X[1]-1.2) > 1e-7 {
+		t.Fatalf("x = %v, want (1.6, 1.2)", sol.X)
+	}
+}
+
+func TestEqualityRow(t *testing.T) {
+	// min x0 + x1 s.t. x0 + x1 = 10, x0 ≤ 4. Optimum 10 with x0 ≤ 4.
+	p := NewProblem(2)
+	p.SetObj(0, 1)
+	p.SetObj(1, 1)
+	p.SetVarBounds(0, 0, 4)
+	p.AddRow([]int{0, 1}, []float64{1, 1}, 10, 10)
+	sol := solveOrFail(t, p)
+	wantOptimal(t, sol, 10, 1e-8)
+	if sol.X[0]+sol.X[1] < 10-1e-7 || sol.X[0]+sol.X[1] > 10+1e-7 {
+		t.Fatalf("equality violated: %v", sol.X)
+	}
+}
+
+func TestGreaterThanRowNeedsPhase1(t *testing.T) {
+	// min 2 x0 + 3 x1 s.t. x0 + x1 ≥ 4, x0 ≥ 1. Optimum x = (4, 0) → 8.
+	p := NewProblem(2)
+	p.SetObj(0, 2)
+	p.SetObj(1, 3)
+	p.SetVarBounds(0, 1, Inf)
+	p.AddRow([]int{0, 1}, []float64{1, 1}, 4, Inf)
+	sol := solveOrFail(t, p)
+	wantOptimal(t, sol, 8, 1e-8)
+}
+
+func TestRangeRow(t *testing.T) {
+	// min x0 s.t. 2 ≤ x0 + x1 ≤ 3, 0 ≤ x1 ≤ 1. Optimum x0 = 1.
+	p := NewProblem(2)
+	p.SetObj(0, 1)
+	p.SetVarBounds(1, 0, 1)
+	p.AddRow([]int{0, 1}, []float64{1, 1}, 2, 3)
+	sol := solveOrFail(t, p)
+	wantOptimal(t, sol, 1, 1e-8)
+}
+
+func TestInfeasibleRowBounds(t *testing.T) {
+	p := NewProblem(1)
+	p.AddRow([]int{0}, []float64{1}, -Inf, 1)
+	p.AddRow([]int{0}, []float64{1}, 2, Inf)
+	sol := solveOrFail(t, p)
+	if sol.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestInfeasibleVarVsRow(t *testing.T) {
+	// x ≤ 1 but row demands 3x ≥ 6.
+	p := NewProblem(1)
+	p.SetVarBounds(0, 0, 1)
+	p.AddRow([]int{0}, []float64{3}, 6, Inf)
+	sol := solveOrFail(t, p)
+	if sol.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min -x0, x0 free upward.
+	p := NewProblem(1)
+	p.SetObj(0, -1)
+	p.AddRow([]int{0}, []float64{1}, 0, Inf)
+	sol := solveOrFail(t, p)
+	if sol.Status != StatusUnbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestFreeVariable(t *testing.T) {
+	// min x0 s.t. x0 + x1 = 1, x1 ∈ [0, 0.25], x0 free: optimum x0 = 0.75.
+	p := NewProblem(2)
+	p.SetObj(0, 1)
+	p.SetVarBounds(0, math.Inf(-1), Inf)
+	p.SetVarBounds(1, 0, 0.25)
+	p.AddRow([]int{0, 1}, []float64{1, 1}, 1, 1)
+	sol := solveOrFail(t, p)
+	wantOptimal(t, sol, 0.75, 1e-8)
+}
+
+func TestNegativeLowerBounds(t *testing.T) {
+	// min x0 + x1 with x ∈ [-2, 2] and x0 - x1 ≥ 1.
+	// Optimum x0 = -1, x1 = -2 → -3.
+	p := NewProblem(2)
+	p.SetObj(0, 1)
+	p.SetObj(1, 1)
+	p.SetVarBounds(0, -2, 2)
+	p.SetVarBounds(1, -2, 2)
+	p.AddRow([]int{0, 1}, []float64{1, -1}, 1, Inf)
+	sol := solveOrFail(t, p)
+	wantOptimal(t, sol, -3, 1e-8)
+}
+
+func TestFixedVariable(t *testing.T) {
+	// x0 fixed at 2; min x1 s.t. x0 + x1 ≥ 5 → x1 = 3.
+	p := NewProblem(2)
+	p.SetObj(1, 1)
+	p.SetVarBounds(0, 2, 2)
+	p.AddRow([]int{0, 1}, []float64{1, 1}, 5, Inf)
+	sol := solveOrFail(t, p)
+	wantOptimal(t, sol, 3, 1e-8)
+	if sol.X[0] != 2 {
+		t.Fatalf("fixed variable moved: %v", sol.X[0])
+	}
+}
+
+func TestDuplicateIndicesInRow(t *testing.T) {
+	// Row written as x0 + x0 ≤ 4 should behave as 2·x0 ≤ 4.
+	p := NewProblem(1)
+	p.SetObj(0, -1)
+	p.SetVarBounds(0, 0, 100)
+	p.AddRow([]int{0, 0}, []float64{1, 1}, -Inf, 4)
+	sol := solveOrFail(t, p)
+	wantOptimal(t, sol, -2, 1e-8)
+}
+
+func TestSolveWithBoundsOverride(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObj(0, -1)
+	p.SetObj(1, -1)
+	p.AddRow([]int{0, 1}, []float64{1, 1}, -Inf, 10)
+	// Unrestricted solve uses x0+x1 = 10.
+	sol := solveOrFail(t, p)
+	wantOptimal(t, sol, -10, 1e-8)
+	// Branching override: x0 ≤ 3.
+	lo := []float64{0, 0}
+	hi := []float64{3, Inf}
+	sol2, err := SolveWithBounds(p, lo, hi, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOptimal(t, sol2, -10, 1e-8)
+	if sol2.X[0] > 3+1e-9 {
+		t.Fatalf("override ignored: x0 = %v", sol2.X[0])
+	}
+	// The problem's own bounds must be untouched.
+	if lo, hi := p.VarBounds(0); lo != 0 || !math.IsInf(hi, 1) {
+		t.Fatalf("problem bounds mutated: [%v, %v]", lo, hi)
+	}
+}
+
+func TestBoundOverrideInfeasibleInterval(t *testing.T) {
+	p := NewProblem(1)
+	sol, err := SolveWithBounds(p, []float64{2}, []float64{1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestDegenerateProblem(t *testing.T) {
+	// Multiple redundant constraints through the same vertex.
+	p := NewProblem(2)
+	p.SetObj(0, -1)
+	p.SetObj(1, -1)
+	p.AddRow([]int{0, 1}, []float64{1, 1}, -Inf, 2)
+	p.AddRow([]int{0, 1}, []float64{2, 2}, -Inf, 4)
+	p.AddRow([]int{0, 1}, []float64{1, 2}, -Inf, 3)
+	p.AddRow([]int{0, 1}, []float64{2, 1}, -Inf, 3)
+	sol := solveOrFail(t, p)
+	wantOptimal(t, sol, -2, 1e-8)
+}
+
+func TestKleeMintyStyleLarge(t *testing.T) {
+	// A moderately hard instance exercising many pivots. (Klee–Minty costs
+	// ~2^n pivots under Dantzig pricing, so keep n modest.)
+	const n = 12
+	p := NewProblem(n)
+	for j := 0; j < n; j++ {
+		p.SetObj(j, -math.Pow(2, float64(n-1-j)))
+	}
+	for i := 0; i < n; i++ {
+		idxs := make([]int, 0, i+1)
+		coefs := make([]float64, 0, i+1)
+		for j := 0; j < i; j++ {
+			idxs = append(idxs, j)
+			coefs = append(coefs, math.Pow(2, float64(i-j+1)))
+		}
+		idxs = append(idxs, i)
+		coefs = append(coefs, 1)
+		p.AddRow(idxs, coefs, -Inf, math.Pow(5, float64(i+1)))
+	}
+	sol := solveOrFail(t, p)
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	// Optimal value of Klee-Minty is -5^n (x_n = 5^n, others 0).
+	want := -math.Pow(5, n)
+	if math.Abs(sol.Obj-want)/math.Abs(want) > 1e-6 {
+		t.Fatalf("objective = %v, want %v", sol.Obj, want)
+	}
+}
+
+func TestManyColumnsPackageShape(t *testing.T) {
+	// Package-query-shaped LP: 2000 tuple variables, one budget row, one
+	// cardinality row. min Σ cost_j x_j with Σ x_j ≥ 50, Σ w_j x_j ≤ 500.
+	s := rng.NewStream(42)
+	const n = 2000
+	p := NewProblem(n)
+	idxs := make([]int, n)
+	ones := make([]float64, n)
+	ws := make([]float64, n)
+	for j := 0; j < n; j++ {
+		idxs[j] = j
+		ones[j] = 1
+		ws[j] = 1 + 9*s.Float64()
+		p.SetObj(j, s.Float64()*10)
+		p.SetVarBounds(j, 0, 10)
+	}
+	p.AddRow(idxs, ones, 50, Inf)
+	p.AddRow(idxs, ws, -Inf, 500)
+	sol := solveOrFail(t, p)
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	var count, weight float64
+	for j := 0; j < n; j++ {
+		count += sol.X[j]
+		weight += ws[j] * sol.X[j]
+	}
+	if count < 50-1e-6 {
+		t.Fatalf("cardinality %v < 50", count)
+	}
+	if weight > 500+1e-6 {
+		t.Fatalf("weight %v > 500", weight)
+	}
+}
+
+func TestNumCoefficients(t *testing.T) {
+	p := NewProblem(3)
+	p.AddRow([]int{0, 1}, []float64{1, 2}, 0, 1)
+	p.AddRow([]int{0, 1, 2}, []float64{1, 2, 3}, 0, 1)
+	if got := p.NumCoefficients(); got != 5 {
+		t.Fatalf("NumCoefficients = %d, want 5", got)
+	}
+}
+
+func TestZeroCoefficientsDropped(t *testing.T) {
+	p := NewProblem(2)
+	p.AddRow([]int{0, 1}, []float64{0, 1}, 0, 1)
+	if got := p.NumCoefficients(); got != 1 {
+		t.Fatalf("NumCoefficients = %d, want 1", got)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	cases := map[Status]string{
+		StatusOptimal:    "optimal",
+		StatusInfeasible: "infeasible",
+		StatusUnbounded:  "unbounded",
+		StatusIterLimit:  "iteration-limit",
+		Status(42):       "lp.Status(42)",
+	}
+	for st, want := range cases {
+		if st.String() != want {
+			t.Errorf("Status(%d).String() = %q, want %q", int(st), st.String(), want)
+		}
+	}
+}
+
+// bruteForceLP solves min c·x over a small box-and-rows LP by enumerating
+// all basic candidate points on a fine grid. Used only to sanity-check the
+// simplex on random instances; the grid granularity bounds the comparison
+// tolerance.
+func bruteForceGrid(c []float64, rows [][]float64, rlo, rhi []float64, lo, hi []float64, steps int) (float64, bool) {
+	n := len(c)
+	best := math.Inf(1)
+	found := false
+	var rec func(j int, x []float64)
+	rec = func(j int, x []float64) {
+		if j == n {
+			for r := range rows {
+				dot := 0.0
+				for k := 0; k < n; k++ {
+					dot += rows[r][k] * x[k]
+				}
+				if dot < rlo[r]-1e-9 || dot > rhi[r]+1e-9 {
+					return
+				}
+			}
+			obj := 0.0
+			for k := 0; k < n; k++ {
+				obj += c[k] * x[k]
+			}
+			if obj < best {
+				best = obj
+				found = true
+			}
+			return
+		}
+		for s := 0; s <= steps; s++ {
+			x[j] = lo[j] + (hi[j]-lo[j])*float64(s)/float64(steps)
+			rec(j+1, x)
+		}
+	}
+	rec(0, make([]float64, n))
+	return best, found
+}
+
+// Property-style test: on random small LPs the simplex optimum must be no
+// worse than any grid point and must satisfy all constraints.
+func TestRandomSmallLPsAgainstGrid(t *testing.T) {
+	s := rng.NewStream(7)
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + s.IntN(3)
+		m := 1 + s.IntN(3)
+		c := make([]float64, n)
+		lo := make([]float64, n)
+		hi := make([]float64, n)
+		p := NewProblem(n)
+		for j := 0; j < n; j++ {
+			c[j] = math.Round((s.Float64()*4-2)*10) / 10
+			lo[j] = 0
+			hi[j] = float64(1 + s.IntN(4))
+			p.SetObj(j, c[j])
+			p.SetVarBounds(j, lo[j], hi[j])
+		}
+		rows := make([][]float64, m)
+		rlo := make([]float64, m)
+		rhi := make([]float64, m)
+		for r := 0; r < m; r++ {
+			rows[r] = make([]float64, n)
+			idxs := make([]int, n)
+			for j := 0; j < n; j++ {
+				rows[r][j] = math.Round((s.Float64()*4-2)*10) / 10
+				idxs[j] = j
+			}
+			switch s.IntN(3) {
+			case 0:
+				rlo[r], rhi[r] = math.Inf(-1), s.Float64()*6
+			case 1:
+				rlo[r], rhi[r] = -s.Float64()*6, math.Inf(1)
+			default:
+				mid := s.Float64()*4 - 2
+				rlo[r], rhi[r] = mid-2, mid+2
+			}
+			p.AddRow(idxs, rows[r], rlo[r], rhi[r])
+		}
+		sol, err := Solve(p, nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		gridBest, gridFound := bruteForceGrid(c, rows, rlo, rhi, lo, hi, 8)
+		switch sol.Status {
+		case StatusOptimal:
+			// Check feasibility of the simplex solution.
+			for r := 0; r < m; r++ {
+				dot := 0.0
+				for j := 0; j < n; j++ {
+					dot += rows[r][j] * sol.X[j]
+				}
+				if dot < rlo[r]-1e-6 || dot > rhi[r]+1e-6 {
+					t.Fatalf("trial %d: solution violates row %d: %v not in [%v,%v]", trial, r, dot, rlo[r], rhi[r])
+				}
+			}
+			for j := 0; j < n; j++ {
+				if sol.X[j] < lo[j]-1e-6 || sol.X[j] > hi[j]+1e-6 {
+					t.Fatalf("trial %d: x[%d]=%v outside [%v,%v]", trial, j, sol.X[j], lo[j], hi[j])
+				}
+			}
+			if gridFound && sol.Obj > gridBest+1e-6 {
+				t.Fatalf("trial %d: simplex obj %v worse than grid point %v", trial, sol.Obj, gridBest)
+			}
+		case StatusInfeasible:
+			if gridFound {
+				t.Fatalf("trial %d: simplex says infeasible but grid found %v", trial, gridBest)
+			}
+		}
+	}
+}
+
+func TestIterationLimitReported(t *testing.T) {
+	p := NewProblem(3)
+	for j := 0; j < 3; j++ {
+		p.SetObj(j, -1)
+		p.SetVarBounds(j, 0, 10)
+	}
+	p.AddRow([]int{0, 1, 2}, []float64{1, 1, 1}, 5, 20)
+	sol, err := Solve(p, &Options{MaxIters: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusIterLimit && sol.Status != StatusOptimal {
+		t.Fatalf("status = %v, want iteration-limit (or trivially optimal)", sol.Status)
+	}
+}

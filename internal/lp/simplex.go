@@ -1,0 +1,594 @@
+package lp
+
+import (
+	"errors"
+	"math"
+)
+
+// variable status codes. Structural variables are 0..n-1, logical (row)
+// variables are n..n+m-1.
+const (
+	statusAtLower = iota
+	statusAtUpper
+	statusFree
+	statusBasic
+)
+
+const (
+	pivotTol      = 1e-9 // minimum |pivot element|
+	refactorEvery = 100  // pivots between basis refactorizations
+)
+
+type simplex struct {
+	p    *Problem
+	opts Options
+
+	n, m  int // structural vars, rows
+	total int // n + m
+
+	lo, hi []float64 // bounds for all vars (structural then logical)
+	status []byte    // statusAtLower / statusAtUpper / statusFree / statusBasic
+
+	basis []int       // basis[k] = variable basic in position k
+	pos   []int       // pos[j] = basis position of var j, or -1
+	binv  [][]float64 // dense basis inverse, m×m
+	xb    []float64   // values of basic variables
+
+	cost []float64 // current phase cost for all vars
+	y    []float64 // duals c_Bᵀ·B⁻¹
+	w    []float64 // ftran scratch
+	v    []float64 // rhs scratch
+
+	iters       int
+	sincePivot  int // pivots since last refactorization
+	degenerate  int // consecutive degenerate iterations (for Bland's rule)
+	blandActive bool
+}
+
+func newSimplex(p *Problem, varLo, varHi []float64, o *Options) *simplex {
+	n, m := p.nvars, len(p.rowLo)
+	opts := o.withDefaults(m, n)
+	s := &simplex{
+		p:      p,
+		opts:   opts,
+		n:      n,
+		m:      m,
+		total:  n + m,
+		lo:     make([]float64, n+m),
+		hi:     make([]float64, n+m),
+		status: make([]byte, n+m),
+		basis:  make([]int, m),
+		pos:    make([]int, n+m),
+		binv:   make([][]float64, m),
+		xb:     make([]float64, m),
+		cost:   make([]float64, n+m),
+		y:      make([]float64, m),
+		w:      make([]float64, m),
+		v:      make([]float64, m),
+	}
+	copy(s.lo, varLo)
+	copy(s.hi, varHi)
+	for i := 0; i < m; i++ {
+		s.lo[n+i] = p.rowLo[i]
+		s.hi[n+i] = p.rowHi[i]
+	}
+	for j := 0; j < s.total; j++ {
+		s.pos[j] = -1
+		s.status[j] = s.initialStatus(j)
+	}
+	for i := 0; i < m; i++ {
+		s.basis[i] = n + i
+		s.pos[n+i] = i
+		s.status[n+i] = statusBasic
+		s.binv[i] = make([]float64, m)
+		s.binv[i][i] = -1 // logical columns have coefficient -1
+	}
+	s.computeXB()
+	return s
+}
+
+func (s *simplex) initialStatus(j int) byte {
+	switch {
+	case !math.IsInf(s.lo[j], -1):
+		return statusAtLower
+	case !math.IsInf(s.hi[j], 1):
+		return statusAtUpper
+	default:
+		return statusFree
+	}
+}
+
+// nbVal returns the value of a nonbasic variable.
+func (s *simplex) nbVal(j int) float64 {
+	switch s.status[j] {
+	case statusAtLower:
+		return s.lo[j]
+	case statusAtUpper:
+		return s.hi[j]
+	default:
+		return 0
+	}
+}
+
+// column iterates the sparse column of variable j (logical columns are a
+// single -1 entry).
+func (s *simplex) column(j int, fn func(row int, coef float64)) {
+	if j < s.n {
+		for _, e := range s.p.cols[j] {
+			fn(e.row, e.coef)
+		}
+		return
+	}
+	fn(j-s.n, -1)
+}
+
+// computeXB recomputes basic variable values from scratch: x_B = −B⁻¹·N x_N.
+func (s *simplex) computeXB() {
+	for i := range s.v {
+		s.v[i] = 0
+	}
+	for j := 0; j < s.total; j++ {
+		if s.status[j] == statusBasic {
+			continue
+		}
+		val := s.nbVal(j)
+		if val == 0 {
+			continue
+		}
+		s.column(j, func(row int, coef float64) {
+			s.v[row] += coef * val
+		})
+	}
+	for k := 0; k < s.m; k++ {
+		sum := 0.0
+		row := s.binv[k]
+		for i := 0; i < s.m; i++ {
+			sum += row[i] * s.v[i]
+		}
+		s.xb[k] = -sum
+	}
+}
+
+// ftran computes w = B⁻¹·A_j for variable j.
+func (s *simplex) ftran(j int) {
+	for k := range s.w {
+		s.w[k] = 0
+	}
+	s.column(j, func(row int, coef float64) {
+		for k := 0; k < s.m; k++ {
+			s.w[k] += coef * s.binv[k][row]
+		}
+	})
+}
+
+// btran computes duals y = c_Bᵀ·B⁻¹ for the current phase costs.
+func (s *simplex) btran() {
+	for i := range s.y {
+		s.y[i] = 0
+	}
+	for k := 0; k < s.m; k++ {
+		cb := s.cost[s.basis[k]]
+		if cb == 0 {
+			continue
+		}
+		row := s.binv[k]
+		for i := 0; i < s.m; i++ {
+			s.y[i] += cb * row[i]
+		}
+	}
+}
+
+// reducedCost returns d_j = c_j − yᵀA_j for nonbasic j.
+func (s *simplex) reducedCost(j int) float64 {
+	d := s.cost[j]
+	if j >= s.n {
+		return d + s.y[j-s.n]
+	}
+	for _, e := range s.p.cols[j] {
+		d -= s.y[e.row] * e.coef
+	}
+	return d
+}
+
+// refactorize rebuilds B⁻¹ from the basis columns by Gauss-Jordan
+// elimination with partial pivoting.
+func (s *simplex) refactorize() error {
+	m := s.m
+	// Build dense B (column k = column of basis[k]) augmented with identity.
+	b := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		b[i] = make([]float64, 2*m)
+		b[i][m+i] = 1
+	}
+	for k := 0; k < m; k++ {
+		s.column(s.basis[k], func(row int, coef float64) {
+			b[row][k] += coef
+		})
+	}
+	for col := 0; col < m; col++ {
+		piv, pv := -1, 0.0
+		for r := col; r < m; r++ {
+			if a := math.Abs(b[r][col]); a > pv {
+				piv, pv = r, a
+			}
+		}
+		if pv < pivotTol {
+			return errors.New("lp: singular basis during refactorization")
+		}
+		b[col], b[piv] = b[piv], b[col]
+		inv := 1 / b[col][col]
+		for c := 0; c < 2*m; c++ {
+			b[col][c] *= inv
+		}
+		for r := 0; r < m; r++ {
+			if r == col {
+				continue
+			}
+			f := b[r][col]
+			if f == 0 {
+				continue
+			}
+			for c := 0; c < 2*m; c++ {
+				b[r][c] -= f * b[col][c]
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		copy(s.binv[i], b[i][m:])
+	}
+	s.sincePivot = 0
+	s.computeXB()
+	return nil
+}
+
+// updateBasisInverse applies the rank-1 eta update after variable enters at
+// basis position r with ftran vector w (which must be current).
+func (s *simplex) updateBasisInverse(r int) {
+	wr := s.w[r]
+	pivRow := s.binv[r]
+	inv := 1 / wr
+	for i := 0; i < s.m; i++ {
+		pivRow[i] *= inv
+	}
+	for k := 0; k < s.m; k++ {
+		if k == r {
+			continue
+		}
+		f := s.w[k]
+		if f == 0 {
+			continue
+		}
+		row := s.binv[k]
+		for i := 0; i < s.m; i++ {
+			row[i] -= f * pivRow[i]
+		}
+	}
+	s.sincePivot++
+}
+
+// infeasibility classification of a basic value.
+const (
+	feaOK = iota
+	feaBelow
+	feaAbove
+)
+
+func (s *simplex) basicFeasibility(k int) int {
+	j := s.basis[k]
+	if s.xb[k] < s.lo[j]-s.opts.FeasTol {
+		return feaBelow
+	}
+	if s.xb[k] > s.hi[j]+s.opts.FeasTol {
+		return feaAbove
+	}
+	return feaOK
+}
+
+func (s *simplex) totalInfeasibility() float64 {
+	sum := 0.0
+	for k := 0; k < s.m; k++ {
+		j := s.basis[k]
+		if s.xb[k] < s.lo[j] {
+			sum += s.lo[j] - s.xb[k]
+		} else if s.xb[k] > s.hi[j] {
+			sum += s.xb[k] - s.hi[j]
+		}
+	}
+	return sum
+}
+
+// solve runs phase 1 then phase 2 and extracts the solution.
+func (s *simplex) solve() (*Solution, error) {
+	st, err := s.phase1()
+	if err != nil {
+		return nil, err
+	}
+	if st == StatusOptimal {
+		st, err = s.phase2()
+		if err != nil {
+			return nil, err
+		}
+	}
+	sol := &Solution{Status: st, X: s.extractX(), Iters: s.iters}
+	for j := 0; j < s.n; j++ {
+		sol.Obj += s.p.obj[j] * sol.X[j]
+	}
+	return sol, nil
+}
+
+func (s *simplex) extractX() []float64 {
+	x := make([]float64, s.n)
+	for j := 0; j < s.n; j++ {
+		if s.status[j] == statusBasic {
+			x[j] = s.xb[s.pos[j]]
+		} else {
+			x[j] = s.nbVal(j)
+		}
+	}
+	return x
+}
+
+// phase1 minimizes total bound infeasibility of the basic variables.
+// Returns StatusOptimal when a feasible basis is reached.
+func (s *simplex) phase1() (Status, error) {
+	for {
+		if s.iters >= s.opts.MaxIters {
+			return StatusIterLimit, nil
+		}
+		// Phase-1 costs live only on basic variables; clear stale entries
+		// from variables that left the basis before reassigning.
+		for j := range s.cost {
+			s.cost[j] = 0
+		}
+		infeasible := false
+		for k := 0; k < s.m; k++ {
+			switch s.basicFeasibility(k) {
+			case feaBelow:
+				s.cost[s.basis[k]] = -1
+				infeasible = true
+			case feaAbove:
+				s.cost[s.basis[k]] = 1
+				infeasible = true
+			default:
+				s.cost[s.basis[k]] = 0
+			}
+		}
+		if !infeasible {
+			for j := range s.cost {
+				s.cost[j] = 0
+			}
+			return StatusOptimal, nil
+		}
+		s.btran()
+		enter, sigma := s.priceForEntering()
+		if enter < 0 {
+			// No improving direction: infeasibility is at its minimum.
+			if s.totalInfeasibility() > 100*s.opts.FeasTol*float64(s.m+1) {
+				return StatusInfeasible, nil
+			}
+			// Residual infeasibility within tolerance: accept.
+			for j := range s.cost {
+				s.cost[j] = 0
+			}
+			return StatusOptimal, nil
+		}
+		if err := s.step(enter, sigma, true); err != nil {
+			return 0, err
+		}
+	}
+}
+
+// phase2 minimizes the true objective starting from a feasible basis.
+func (s *simplex) phase2() (Status, error) {
+	for j := 0; j < s.n; j++ {
+		s.cost[j] = s.p.obj[j]
+	}
+	for j := s.n; j < s.total; j++ {
+		s.cost[j] = 0
+	}
+	for {
+		if s.iters >= s.opts.MaxIters {
+			return StatusIterLimit, nil
+		}
+		s.btran()
+		enter, sigma := s.priceForEntering()
+		if enter < 0 {
+			return StatusOptimal, nil
+		}
+		unbounded, err := s.stepPhase2(enter, sigma)
+		if err != nil {
+			return 0, err
+		}
+		if unbounded {
+			return StatusUnbounded, nil
+		}
+	}
+}
+
+// priceForEntering scans nonbasic variables for the best improving reduced
+// cost and returns the entering variable and its movement direction
+// (+1 increase, −1 decrease), or (−1, 0) if none improves.
+func (s *simplex) priceForEntering() (int, int) {
+	best, bestScore, bestSigma := -1, s.opts.OptTol, 0
+	for j := 0; j < s.total; j++ {
+		switch s.status[j] {
+		case statusBasic:
+			continue
+		case statusAtLower:
+			if s.hi[j]-s.lo[j] < s.opts.FeasTol && !math.IsInf(s.hi[j], 1) {
+				continue // fixed variable
+			}
+			if d := s.reducedCost(j); d < -bestScore {
+				if s.blandActive {
+					return j, +1
+				}
+				best, bestScore, bestSigma = j, -d, +1
+			}
+		case statusAtUpper:
+			if s.hi[j]-s.lo[j] < s.opts.FeasTol && !math.IsInf(s.lo[j], -1) {
+				continue
+			}
+			if d := s.reducedCost(j); d > bestScore {
+				if s.blandActive {
+					return j, -1
+				}
+				best, bestScore, bestSigma = j, d, -1
+			}
+		case statusFree:
+			d := s.reducedCost(j)
+			if d < -bestScore {
+				if s.blandActive {
+					return j, +1
+				}
+				best, bestScore, bestSigma = j, -d, +1
+			} else if d > bestScore {
+				if s.blandActive {
+					return j, -1
+				}
+				best, bestScore, bestSigma = j, d, -1
+			}
+		}
+	}
+	return best, bestSigma
+}
+
+// ratioResult describes the outcome of a ratio test.
+type ratioResult struct {
+	t       float64 // step length
+	leaveK  int     // leaving basis position, or -1 for a bound flip
+	leaveAt byte    // status the leaving variable takes (statusAtLower/Upper)
+}
+
+// step performs one phase-1 iteration with entering variable `enter` moving
+// in direction sigma. Phase 1 allows infeasible basics and blocks them at
+// the violated bound (they leave the basis exactly feasible).
+func (s *simplex) step(enter, sigma int, phase1 bool) error {
+	s.ftran(enter)
+	res := s.ratioTest(enter, sigma, phase1)
+	if res.t < 0 {
+		// An improving infeasibility direction must hit some bound; an
+		// unbounded ray here means the basis inverse has degraded.
+		return errors.New("lp: unbounded phase-1 ray (numerical failure)")
+	}
+	s.applyStep(enter, sigma, res)
+	return nil
+}
+
+// stepPhase2 performs one phase-2 iteration; returns true if the problem is
+// unbounded in the entering direction.
+func (s *simplex) stepPhase2(enter, sigma int) (bool, error) {
+	s.ftran(enter)
+	res := s.ratioTest(enter, sigma, false)
+	if res.t < 0 {
+		return true, nil // no breakpoint: unbounded ray
+	}
+	s.applyStep(enter, sigma, res)
+	return false, nil
+}
+
+// ratioTest finds the maximum step t for the entering variable and the
+// blocking basic variable (or a bound flip). Returns t = -1 when unbounded.
+func (s *simplex) ratioTest(enter, sigma int, phase1 bool) ratioResult {
+	res := ratioResult{t: math.Inf(1), leaveK: -1}
+	// Bound flip limit for the entering variable itself.
+	if !math.IsInf(s.lo[enter], -1) && !math.IsInf(s.hi[enter], 1) {
+		res.t = s.hi[enter] - s.lo[enter]
+	}
+	bestPiv := 0.0
+	for k := 0; k < s.m; k++ {
+		rate := -float64(sigma) * s.w[k] // d x_B[k] / dt
+		if math.Abs(rate) < pivotTol {
+			continue
+		}
+		j := s.basis[k]
+		var limit float64
+		var at byte
+		switch fk := s.basicFeasibility(k); {
+		case fk == feaOK && rate > 0:
+			if math.IsInf(s.hi[j], 1) {
+				continue
+			}
+			limit = (s.hi[j] - s.xb[k]) / rate
+			at = statusAtUpper
+		case fk == feaOK && rate < 0:
+			if math.IsInf(s.lo[j], -1) {
+				continue
+			}
+			limit = (s.xb[k] - s.lo[j]) / -rate
+			at = statusAtLower
+		case fk == feaBelow && rate > 0:
+			// Infeasible below: blocks when it reaches its lower bound.
+			limit = (s.lo[j] - s.xb[k]) / rate
+			at = statusAtLower
+		case fk == feaAbove && rate < 0:
+			limit = (s.xb[k] - s.hi[j]) / -rate
+			at = statusAtUpper
+		default:
+			// Moving further into infeasibility: does not block in phase 1;
+			// in phase 2 all basics are feasible so this case cannot occur.
+			continue
+		}
+		if limit < 0 {
+			limit = 0
+		}
+		// Prefer strictly smaller limits; on near-ties prefer the larger
+		// pivot magnitude for numerical stability (Harris-style tie-break).
+		if limit < res.t-1e-10 || (limit < res.t+1e-10 && math.Abs(s.w[k]) > bestPiv) {
+			res.t = limit
+			res.leaveK = k
+			res.leaveAt = at
+			bestPiv = math.Abs(s.w[k])
+		}
+	}
+	if math.IsInf(res.t, 1) {
+		return ratioResult{t: -1}
+	}
+	return res
+}
+
+// applyStep moves the entering variable by t·sigma, updates basic values and
+// performs the basis exchange (or bound flip).
+func (s *simplex) applyStep(enter, sigma int, res ratioResult) {
+	s.iters++
+	t := res.t
+	if t < 1e-12 {
+		s.degenerate++
+		if s.degenerate > 5*(s.m+10) {
+			s.blandActive = true
+		}
+	} else {
+		s.degenerate = 0
+		s.blandActive = false
+	}
+	// Update basic values along the direction.
+	if t != 0 {
+		for k := 0; k < s.m; k++ {
+			s.xb[k] -= t * float64(sigma) * s.w[k]
+		}
+	}
+	if res.leaveK < 0 {
+		// Bound flip: entering variable moves to its opposite bound.
+		if sigma > 0 {
+			s.status[enter] = statusAtUpper
+		} else {
+			s.status[enter] = statusAtLower
+		}
+		return
+	}
+	leave := s.basis[res.leaveK]
+	enterVal := s.nbVal(enter) + t*float64(sigma)
+	s.status[leave] = res.leaveAt
+	s.pos[leave] = -1
+	s.basis[res.leaveK] = enter
+	s.pos[enter] = res.leaveK
+	s.status[enter] = statusBasic
+	s.xb[res.leaveK] = enterVal
+	s.updateBasisInverse(res.leaveK)
+	if s.sincePivot >= refactorEvery {
+		if err := s.refactorize(); err == nil {
+			return
+		}
+		// Singular refactorization should be impossible after a valid
+		// pivot; keep the eta-updated inverse as a fallback.
+	}
+}

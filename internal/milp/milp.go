@@ -1,0 +1,575 @@
+// Package milp implements a branch-and-bound mixed-integer linear
+// programming solver over the simplex in internal/lp. Together they stand in
+// for the commercial solver (IBM CPLEX 12.6) the paper uses: the package
+// supports the exact feature set package-query DILPs need — nonnegative
+// integer tuple-multiplicity variables, binary scenario/summary indicator
+// variables, range constraints, and indicator ("y = 1 ⟹ linear constraint")
+// constraints, which are linearized with per-row derived big-M values.
+//
+// Minimization is canonical; callers maximize by negating objective
+// coefficients.
+package milp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"spq/internal/lp"
+)
+
+// Inf re-exports the LP infinity for bound construction.
+var Inf = lp.Inf
+
+// Status reports the disposition of a MILP solve.
+type Status int
+
+const (
+	// StatusOptimal means the search proved optimality of the incumbent.
+	StatusOptimal Status = iota
+	// StatusFeasible means a feasible incumbent exists but optimality was
+	// not proven before a node/time limit.
+	StatusFeasible
+	// StatusInfeasible means the search proved no integer-feasible point
+	// exists.
+	StatusInfeasible
+	// StatusUnbounded means the LP relaxation is unbounded.
+	StatusUnbounded
+	// StatusLimit means a limit was reached with no incumbent found.
+	StatusLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusFeasible:
+		return "feasible"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusLimit:
+		return "limit"
+	default:
+		return fmt.Sprintf("milp.Status(%d)", int(s))
+	}
+}
+
+// variable describes one decision variable.
+type variable struct {
+	lo, hi  float64
+	obj     float64
+	integer bool
+	name    string
+}
+
+type rowSpec struct {
+	idxs   []int
+	coefs  []float64
+	lo, hi float64
+}
+
+// indicator is a constraint of the form: bin = 1 ⟹ Σ coefs·x (ge ? ≥ : ≤) rhs.
+type indicator struct {
+	bin   int
+	idxs  []int
+	coefs []float64
+	rhs   float64
+	ge    bool
+}
+
+// Model is a MILP instance under construction.
+type Model struct {
+	vars       []variable
+	rows       []rowSpec
+	indicators []indicator
+}
+
+// NewModel returns an empty model.
+func NewModel() *Model { return &Model{} }
+
+// NumVars returns the number of variables added so far.
+func (m *Model) NumVars() int { return len(m.vars) }
+
+// NumRows returns the number of plain rows added so far (indicator rows are
+// materialized at solve time and not counted here).
+func (m *Model) NumRows() int { return len(m.rows) }
+
+// NumIndicators returns the number of indicator constraints.
+func (m *Model) NumIndicators() int { return len(m.indicators) }
+
+// AddVar adds a variable with bounds [lo, hi], objective coefficient obj and
+// integrality flag, returning its index.
+func (m *Model) AddVar(lo, hi, obj float64, integer bool, name string) int {
+	m.vars = append(m.vars, variable{lo: lo, hi: hi, obj: obj, integer: integer, name: name})
+	return len(m.vars) - 1
+}
+
+// AddBinary adds a {0,1} variable and returns its index.
+func (m *Model) AddBinary(obj float64, name string) int {
+	return m.AddVar(0, 1, obj, true, name)
+}
+
+// VarName returns the name of variable j.
+func (m *Model) VarName(j int) string { return m.vars[j].name }
+
+// SetObj overrides the objective coefficient of variable j.
+func (m *Model) SetObj(j int, obj float64) { m.vars[j].obj = obj }
+
+// AddRow adds the range constraint lo ≤ Σ coefs·x ≤ hi.
+func (m *Model) AddRow(idxs []int, coefs []float64, lo, hi float64) {
+	m.rows = append(m.rows, rowSpec{idxs: idxs, coefs: coefs, lo: lo, hi: hi})
+}
+
+// AddIndicatorGE adds: bin = 1 ⟹ Σ coefs·x ≥ rhs. The bin variable must be
+// binary and all involved variables must have finite bounds (needed to derive
+// a valid big-M).
+func (m *Model) AddIndicatorGE(bin int, idxs []int, coefs []float64, rhs float64) {
+	m.indicators = append(m.indicators, indicator{bin: bin, idxs: idxs, coefs: coefs, rhs: rhs, ge: true})
+}
+
+// AddIndicatorLE adds: bin = 1 ⟹ Σ coefs·x ≤ rhs.
+func (m *Model) AddIndicatorLE(bin int, idxs []int, coefs []float64, rhs float64) {
+	m.indicators = append(m.indicators, indicator{bin: bin, idxs: idxs, coefs: coefs, rhs: rhs, ge: false})
+}
+
+// boxMin/boxMax compute the extreme values of Σ coefs·x over the variable
+// boxes, used to derive valid big-M constants.
+func (m *Model) boxExtremes(idxs []int, coefs []float64) (minV, maxV float64, err error) {
+	for k, j := range idxs {
+		c := coefs[k]
+		if c == 0 {
+			continue
+		}
+		lo, hi := m.vars[j].lo, m.vars[j].hi
+		if math.IsInf(lo, -1) || math.IsInf(hi, 1) {
+			return 0, 0, fmt.Errorf("milp: indicator over variable %q with infinite bounds", m.vars[j].name)
+		}
+		if c > 0 {
+			minV += c * lo
+			maxV += c * hi
+		} else {
+			minV += c * hi
+			maxV += c * lo
+		}
+	}
+	return minV, maxV, nil
+}
+
+// build materializes the LP relaxation, expanding indicator constraints into
+// big-M rows.
+func (m *Model) build() (*lp.Problem, error) {
+	p := lp.NewProblem(len(m.vars))
+	for j, v := range m.vars {
+		p.SetObj(j, v.obj)
+		p.SetVarBounds(j, v.lo, v.hi)
+	}
+	for _, r := range m.rows {
+		p.AddRow(r.idxs, r.coefs, r.lo, r.hi)
+	}
+	for _, ind := range m.indicators {
+		if !m.vars[ind.bin].integer || m.vars[ind.bin].lo < 0 || m.vars[ind.bin].hi > 1 {
+			return nil, errors.New("milp: indicator variable must be binary")
+		}
+		minV, maxV, err := m.boxExtremes(ind.idxs, ind.coefs)
+		if err != nil {
+			return nil, err
+		}
+		idxs := make([]int, len(ind.idxs), len(ind.idxs)+1)
+		coefs := make([]float64, len(ind.coefs), len(ind.coefs)+1)
+		copy(idxs, ind.idxs)
+		copy(coefs, ind.coefs)
+		if ind.ge {
+			// a·x − M·b ≥ rhs − M with M ≥ rhs − minbox.
+			bigM := ind.rhs - minV
+			if bigM < 0 {
+				bigM = 0
+			}
+			bigM = bigM*1.01 + 1 // slack for numerical safety; larger M stays valid
+			idxs = append(idxs, ind.bin)
+			coefs = append(coefs, -bigM)
+			p.AddRow(idxs, coefs, ind.rhs-bigM, lp.Inf)
+		} else {
+			// a·x + M·b ≤ rhs + M with M ≥ maxbox − rhs.
+			bigM := maxV - ind.rhs
+			if bigM < 0 {
+				bigM = 0
+			}
+			bigM = bigM*1.01 + 1
+			idxs = append(idxs, ind.bin)
+			coefs = append(coefs, bigM)
+			p.AddRow(idxs, coefs, -lp.Inf, ind.rhs+bigM)
+		}
+	}
+	return p, nil
+}
+
+// NumCoefficients reports the coefficient count of the materialized DILP
+// (the paper's problem-size measure). Indicator rows count their terms plus
+// the big-M entry.
+func (m *Model) NumCoefficients() int {
+	n := 0
+	for _, r := range m.rows {
+		for _, c := range r.coefs {
+			if c != 0 {
+				n++
+			}
+		}
+	}
+	for _, ind := range m.indicators {
+		for _, c := range ind.coefs {
+			if c != 0 {
+				n++
+			}
+		}
+		n++ // big-M coefficient on the indicator binary
+	}
+	return n
+}
+
+// Options tune the branch-and-bound search.
+type Options struct {
+	// TimeLimit bounds wall-clock search time; 0 means no limit. When the
+	// limit expires the best incumbent (if any) is returned, mirroring the
+	// paper's four-hour CPLEX cutoff behaviour.
+	TimeLimit time.Duration
+	// MaxNodes bounds the number of explored nodes; 0 means a large default.
+	MaxNodes int
+	// RelGap stops the search when (incumbent − bound)/|incumbent| falls
+	// below this value. 0 means prove optimality (within tolerance).
+	RelGap float64
+	// IntTol is the integrality tolerance (default 1e-6).
+	IntTol float64
+	// InitialX optionally seeds the incumbent with a known integer-feasible
+	// point (e.g. the previous CSA-Solve solution); ignored if infeasible.
+	InitialX []float64
+	// LP tunes the node LP solves.
+	LP lp.Options
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{}
+	if o != nil {
+		out = *o
+	}
+	if out.MaxNodes == 0 {
+		out.MaxNodes = 500000
+	}
+	if out.IntTol == 0 {
+		out.IntTol = 1e-6
+	}
+	return out
+}
+
+// Result is the outcome of a MILP solve.
+type Result struct {
+	Status Status
+	// X is the incumbent solution (valid for StatusOptimal/StatusFeasible).
+	X []float64
+	// Obj is the incumbent objective value.
+	Obj float64
+	// Bound is the root LP relaxation bound (a valid lower bound for
+	// minimization).
+	Bound float64
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+	// Coefficients is the DILP size that was handed to the LP engine.
+	Coefficients int
+}
+
+// Gap returns the relative optimality gap of the incumbent versus the root
+// bound, or +Inf when no incumbent exists.
+func (r *Result) Gap() float64 {
+	if r.X == nil {
+		return math.Inf(1)
+	}
+	denom := math.Abs(r.Obj)
+	if denom < 1e-12 {
+		denom = 1e-12
+	}
+	g := (r.Obj - r.Bound) / denom
+	if g < 0 {
+		return 0
+	}
+	return g
+}
+
+type bbState struct {
+	model    *Model
+	prob     *lp.Problem
+	opts     Options
+	deadline time.Time
+	hasDL    bool
+
+	lo, hi []float64 // current node bounds (mutated along the DFS)
+
+	incumbent    []float64
+	incumbentObj float64
+	nodes        int
+	err          error
+}
+
+// Solve runs branch and bound on the model.
+func Solve(m *Model, o *Options) (*Result, error) {
+	opts := o.withDefaults()
+	prob, err := m.build()
+	if err != nil {
+		return nil, err
+	}
+	st := &bbState{
+		model:        m,
+		prob:         prob,
+		opts:         opts,
+		incumbentObj: math.Inf(1),
+		lo:           make([]float64, len(m.vars)),
+		hi:           make([]float64, len(m.vars)),
+	}
+	if opts.TimeLimit > 0 {
+		st.deadline = time.Now().Add(opts.TimeLimit)
+		st.hasDL = true
+	}
+	for j, v := range m.vars {
+		st.lo[j] = v.lo
+		st.hi[j] = v.hi
+	}
+	if opts.InitialX != nil {
+		if obj, ok := st.checkFeasible(opts.InitialX); ok {
+			st.incumbent = append([]float64(nil), opts.InitialX...)
+			st.incumbentObj = obj
+		}
+	}
+
+	rootSol, err := lp.SolveWithBounds(prob, st.lo, st.hi, &opts.LP)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Bound: rootSol.Obj, Coefficients: m.NumCoefficients()}
+	switch rootSol.Status {
+	case lp.StatusInfeasible:
+		if st.incumbent != nil {
+			res.Status, res.X, res.Obj = StatusFeasible, st.incumbent, st.incumbentObj
+			return res, nil
+		}
+		res.Status = StatusInfeasible
+		return res, nil
+	case lp.StatusUnbounded:
+		res.Status = StatusUnbounded
+		return res, nil
+	case lp.StatusIterLimit:
+		if st.incumbent != nil {
+			res.Status, res.X, res.Obj = StatusFeasible, st.incumbent, st.incumbentObj
+			return res, nil
+		}
+		res.Status = StatusLimit
+		return res, nil
+	}
+	// Rounding heuristic on the root relaxation for an early incumbent.
+	st.tryRounding(rootSol.X)
+
+	complete := st.dive(rootSol)
+	if st.err != nil {
+		return nil, st.err
+	}
+	res.Nodes = st.nodes
+	switch {
+	case st.incumbent != nil && complete:
+		res.Status = StatusOptimal
+		res.X, res.Obj = st.incumbent, st.incumbentObj
+	case st.incumbent != nil:
+		res.Status = StatusFeasible
+		res.X, res.Obj = st.incumbent, st.incumbentObj
+	case complete:
+		res.Status = StatusInfeasible
+	default:
+		res.Status = StatusLimit
+	}
+	return res, nil
+}
+
+// limitHit reports whether a node or time limit has expired.
+func (st *bbState) limitHit() bool {
+	if st.nodes >= st.opts.MaxNodes {
+		return true
+	}
+	if st.hasDL && time.Now().After(st.deadline) {
+		return true
+	}
+	return false
+}
+
+// gapMet reports whether the incumbent is within the requested relative gap
+// of the given bound.
+func (st *bbState) gapMet(bound float64) bool {
+	if st.incumbent == nil || st.opts.RelGap <= 0 {
+		return false
+	}
+	denom := math.Abs(st.incumbentObj)
+	if denom < 1e-12 {
+		denom = 1e-12
+	}
+	return (st.incumbentObj-bound)/denom <= st.opts.RelGap
+}
+
+// dive explores the subtree rooted at the current bound state, whose LP
+// relaxation solution is sol. Returns true if the subtree was fully explored
+// (i.e. the result in this subtree is exact).
+func (st *bbState) dive(sol *lp.Solution) bool {
+	st.nodes++
+	if sol.Status == lp.StatusInfeasible {
+		return true
+	}
+	if sol.Status == lp.StatusIterLimit {
+		return false // cannot trust this subtree's bound
+	}
+	if sol.Obj >= st.incumbentObj-1e-9 {
+		return true // bound prune
+	}
+	if st.gapMet(sol.Obj) {
+		return true
+	}
+	branchVar := st.pickBranchVar(sol.X)
+	if branchVar < 0 {
+		// Integer feasible: new incumbent.
+		obj := sol.Obj
+		if obj < st.incumbentObj {
+			st.incumbent = st.roundedCopy(sol.X)
+			st.incumbentObj = obj
+		}
+		return true
+	}
+	if st.limitHit() {
+		return false
+	}
+	val := sol.X[branchVar]
+	floorV := math.Floor(val)
+	ceilV := floorV + 1
+	frac := val - floorV
+
+	type branch struct{ loV, hiV float64 }
+	// Explore the side nearer the LP value first.
+	order := []branch{{st.lo[branchVar], floorV}, {ceilV, st.hi[branchVar]}}
+	if frac > 0.5 {
+		order[0], order[1] = order[1], order[0]
+	}
+	complete := true
+	for _, b := range order {
+		if b.loV > b.hiV {
+			continue
+		}
+		savedLo, savedHi := st.lo[branchVar], st.hi[branchVar]
+		st.lo[branchVar], st.hi[branchVar] = b.loV, b.hiV
+		childSol, err := lp.SolveWithBounds(st.prob, st.lo, st.hi, &st.opts.LP)
+		if err != nil {
+			st.err = err
+			st.lo[branchVar], st.hi[branchVar] = savedLo, savedHi
+			return false
+		}
+		if !st.dive(childSol) {
+			complete = false
+		}
+		st.lo[branchVar], st.hi[branchVar] = savedLo, savedHi
+		if st.err != nil {
+			return false
+		}
+		if st.limitHit() {
+			return false
+		}
+	}
+	return complete
+}
+
+// pickBranchVar returns the most fractional integer variable, or -1 if the
+// point is integer feasible.
+func (st *bbState) pickBranchVar(x []float64) int {
+	best := -1
+	bestScore := math.Inf(1) // |frac − 0.5|: most-fractional branching
+	for j, v := range st.model.vars {
+		if !v.integer {
+			continue
+		}
+		f := x[j] - math.Floor(x[j])
+		if math.Min(f, 1-f) <= st.opts.IntTol {
+			continue // effectively integral
+		}
+		score := math.Abs(f - 0.5)
+		if score < bestScore {
+			best, bestScore = j, score
+		}
+	}
+	return best
+}
+
+// roundedCopy snaps near-integer values of integer variables exactly.
+func (st *bbState) roundedCopy(x []float64) []float64 {
+	out := append([]float64(nil), x...)
+	for j, v := range st.model.vars {
+		if v.integer {
+			out[j] = math.Round(out[j])
+		}
+	}
+	return out
+}
+
+// tryRounding rounds the LP relaxation point and installs it as incumbent if
+// it is feasible for the full model.
+func (st *bbState) tryRounding(x []float64) {
+	cand := st.roundedCopy(x)
+	for j := range cand {
+		if cand[j] < st.lo[j] {
+			cand[j] = st.lo[j]
+		}
+		if cand[j] > st.hi[j] {
+			cand[j] = st.hi[j]
+		}
+	}
+	if obj, ok := st.checkFeasible(cand); ok && obj < st.incumbentObj {
+		st.incumbent = cand
+		st.incumbentObj = obj
+	}
+}
+
+// checkFeasible verifies a candidate point against all rows, indicator
+// constraints, bounds, and integrality; it returns the objective value.
+func (st *bbState) checkFeasible(x []float64) (float64, bool) {
+	const tol = 1e-6
+	if len(x) != len(st.model.vars) {
+		return 0, false
+	}
+	obj := 0.0
+	for j, v := range st.model.vars {
+		if x[j] < v.lo-tol || x[j] > v.hi+tol {
+			return 0, false
+		}
+		if v.integer && math.Abs(x[j]-math.Round(x[j])) > tol {
+			return 0, false
+		}
+		obj += v.obj * x[j]
+	}
+	for _, r := range st.model.rows {
+		dot := 0.0
+		for k, j := range r.idxs {
+			dot += r.coefs[k] * x[j]
+		}
+		if dot < r.lo-tol || dot > r.hi+tol {
+			return 0, false
+		}
+	}
+	for _, ind := range st.model.indicators {
+		if math.Round(x[ind.bin]) != 1 {
+			continue
+		}
+		dot := 0.0
+		for k, j := range ind.idxs {
+			dot += ind.coefs[k] * x[j]
+		}
+		if ind.ge && dot < ind.rhs-tol {
+			return 0, false
+		}
+		if !ind.ge && dot > ind.rhs+tol {
+			return 0, false
+		}
+	}
+	return obj, true
+}

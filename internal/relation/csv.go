@@ -1,0 +1,70 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the deterministic columns as CSV with a header row.
+// Stochastic attributes have no deterministic values and are omitted;
+// persist their definitions in code or export realized scenarios instead.
+func (r *Relation) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.detNames); err != nil {
+		return err
+	}
+	record := make([]string, len(r.detNames))
+	for t := 0; t < r.n; t++ {
+		for i := range r.detCols {
+			record[i] = strconv.FormatFloat(r.detCols[i][t], 'g', -1, 64)
+		}
+		if err := cw.Write(record); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV builds a relation from CSV data with a header row of column names
+// and numeric values. All columns are deterministic; attach stochastic
+// attributes with AddStoch afterwards.
+func ReadCSV(name string, rd io.Reader) (*Relation, error) {
+	cr := csv.NewReader(rd)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
+	}
+	cols := make([][]float64, len(header))
+	rows := 0
+	for {
+		record, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: reading CSV row %d: %w", rows+1, err)
+		}
+		if len(record) != len(header) {
+			return nil, fmt.Errorf("relation: CSV row %d has %d fields, want %d", rows+1, len(record), len(header))
+		}
+		for i, field := range record {
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, fmt.Errorf("relation: CSV row %d column %q: %w", rows+1, header[i], err)
+			}
+			cols[i] = append(cols[i], v)
+		}
+		rows++
+	}
+	rel := New(name, rows)
+	for i, colName := range header {
+		if err := rel.AddDet(colName, cols[i]); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}

@@ -1,0 +1,356 @@
+// Package relation implements the Monte Carlo probabilistic data model of
+// MCDB (Jampani et al.) that the paper builds on (§2.2): a relation with
+// deterministic columns plus stochastic attributes whose values are produced
+// by VG (variable generation) functions. A scenario is a deterministic
+// realization of the whole relation, reproducible from a base random seed;
+// the deterministic tuple key is the tuple's index, which is stable across
+// scenarios.
+package relation
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"spq/internal/dist"
+	"spq/internal/rng"
+)
+
+// VGFunc is a variable generation function for one stochastic attribute.
+// Value must be a pure function of (src, tuple, scenario): the same
+// coordinates always produce the same realization, regardless of the order
+// in which other coordinates are evaluated. This property is what allows
+// tuple-wise and scenario-wise summarization (§5.5) to observe identical
+// scenario sets.
+type VGFunc interface {
+	// Value returns the realization of the attribute for the given tuple in
+	// the given scenario.
+	Value(src rng.Source, tuple, scenario int) float64
+	// ExactMean returns the closed-form mean for the tuple's variable, or
+	// NaN when no closed form is available (the mean is then estimated by
+	// scenario averaging, as in the paper's precomputation phase §3.2).
+	ExactMean(tuple int) float64
+}
+
+// IndependentVG realizes each tuple's variable independently from its own
+// distribution. Dists is indexed by tuple; a single-element slice is
+// broadcast to all tuples.
+type IndependentVG struct {
+	// AttrID namespaces this attribute's substreams; it must differ between
+	// attributes of one relation.
+	AttrID uint64
+	Dists  []dist.Dist
+}
+
+func (vg *IndependentVG) distFor(tuple int) dist.Dist {
+	if len(vg.Dists) == 1 {
+		return vg.Dists[0]
+	}
+	return vg.Dists[tuple]
+}
+
+// Value implements VGFunc.
+func (vg *IndependentVG) Value(src rng.Source, tuple, scenario int) float64 {
+	s := rng.NewStream(src.SeedAt(vg.AttrID, uint64(tuple), uint64(scenario)))
+	return vg.distFor(tuple).Sample(s)
+}
+
+// ExactMean implements VGFunc.
+func (vg *IndependentVG) ExactMean(tuple int) float64 { return vg.distFor(tuple).Mean() }
+
+// GroupedVG realizes variables that are correlated within groups: all tuples
+// with the same Group share one substream per scenario, so their values are
+// derived from a common random experiment (e.g. one price path per stock,
+// Figure 1 of the paper). Eval receives the shared stream and the tuple
+// index and must consume the stream identically for every tuple in a group
+// (typically by generating the full group experiment and reading off the
+// tuple's part).
+type GroupedVG struct {
+	AttrID uint64
+	Group  []int // group id per tuple
+	Eval   func(s *rng.Stream, tuple int) float64
+	Means  []float64 // optional exact means per tuple (nil → NaN)
+}
+
+// Value implements VGFunc.
+func (vg *GroupedVG) Value(src rng.Source, tuple, scenario int) float64 {
+	s := rng.NewStream(src.SeedAt(vg.AttrID, uint64(vg.Group[tuple]), uint64(scenario)))
+	return vg.Eval(s, tuple)
+}
+
+// ExactMean implements VGFunc.
+func (vg *GroupedVG) ExactMean(tuple int) float64 {
+	if vg.Means == nil {
+		return math.NaN()
+	}
+	return vg.Means[tuple]
+}
+
+// remappedVG exposes a subset view of another VG function: tuple i of the
+// view is tuple Orig[i] of the base relation, preserving substream identity
+// (and hence correlation structure) under selection.
+type remappedVG struct {
+	inner VGFunc
+	orig  []int
+}
+
+func (vg *remappedVG) Value(src rng.Source, tuple, scenario int) float64 {
+	return vg.inner.Value(src, vg.orig[tuple], scenario)
+}
+
+func (vg *remappedVG) ExactMean(tuple int) float64 { return vg.inner.ExactMean(vg.orig[tuple]) }
+
+// stochAttr is a stochastic attribute of a relation.
+type stochAttr struct {
+	name string
+	vg   VGFunc
+}
+
+// Relation is an in-memory Monte Carlo relation.
+type Relation struct {
+	name string
+	n    int
+
+	detNames []string
+	detCols  [][]float64
+	detIdx   map[string]int
+
+	stochs   []stochAttr
+	stochIdx map[string]int
+
+	// means caches E(t_i.A) estimates per stochastic attribute (§3.2
+	// precomputation); populated by ComputeMeans or exact VG means.
+	means map[string][]float64
+
+	// origIdx maps view tuples to base-relation tuples; nil for base
+	// relations (identity).
+	origIdx []int
+}
+
+// New creates a relation with n tuples and no columns.
+func New(name string, n int) *Relation {
+	return &Relation{
+		name:     name,
+		n:        n,
+		detIdx:   map[string]int{},
+		stochIdx: map[string]int{},
+		means:    map[string][]float64{},
+	}
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// N returns the number of tuples.
+func (r *Relation) N() int { return r.n }
+
+// AddDet adds a deterministic column. The column length must equal N.
+func (r *Relation) AddDet(name string, values []float64) error {
+	if len(values) != r.n {
+		return fmt.Errorf("relation: column %q has %d values, want %d", name, len(values), r.n)
+	}
+	if r.hasAttr(name) {
+		return fmt.Errorf("relation: duplicate attribute %q", name)
+	}
+	r.detIdx[name] = len(r.detCols)
+	r.detNames = append(r.detNames, name)
+	r.detCols = append(r.detCols, values)
+	return nil
+}
+
+// AddStoch adds a stochastic attribute backed by a VG function.
+func (r *Relation) AddStoch(name string, vg VGFunc) error {
+	if r.hasAttr(name) {
+		return fmt.Errorf("relation: duplicate attribute %q", name)
+	}
+	r.stochIdx[name] = len(r.stochs)
+	r.stochs = append(r.stochs, stochAttr{name: name, vg: vg})
+	return nil
+}
+
+func (r *Relation) hasAttr(name string) bool {
+	_, d := r.detIdx[name]
+	_, s := r.stochIdx[name]
+	return d || s
+}
+
+// HasAttr reports whether the relation has an attribute with this name.
+func (r *Relation) HasAttr(name string) bool { return r.hasAttr(name) }
+
+// IsStochastic reports whether name is a stochastic attribute.
+func (r *Relation) IsStochastic(name string) bool {
+	_, ok := r.stochIdx[name]
+	return ok
+}
+
+// DetNames returns the deterministic column names in insertion order.
+func (r *Relation) DetNames() []string { return append([]string(nil), r.detNames...) }
+
+// StochNames returns the stochastic attribute names in insertion order.
+func (r *Relation) StochNames() []string {
+	out := make([]string, len(r.stochs))
+	for i, s := range r.stochs {
+		out[i] = s.name
+	}
+	return out
+}
+
+// Det returns the deterministic column, or an error if absent.
+func (r *Relation) Det(name string) ([]float64, error) {
+	i, ok := r.detIdx[name]
+	if !ok {
+		return nil, fmt.Errorf("relation: no deterministic column %q", name)
+	}
+	return r.detCols[i], nil
+}
+
+// VG returns the VG function of a stochastic attribute.
+func (r *Relation) VG(name string) (VGFunc, error) {
+	i, ok := r.stochIdx[name]
+	if !ok {
+		return nil, fmt.Errorf("relation: no stochastic attribute %q", name)
+	}
+	return r.stochs[i].vg, nil
+}
+
+// Value realizes attribute attr for (tuple, scenario) under source src.
+// Deterministic columns ignore the scenario.
+func (r *Relation) Value(src rng.Source, attr string, tuple, scenario int) (float64, error) {
+	if i, ok := r.detIdx[attr]; ok {
+		return r.detCols[i][tuple], nil
+	}
+	if i, ok := r.stochIdx[attr]; ok {
+		return r.stochs[i].vg.Value(src, tuple, scenario), nil
+	}
+	return 0, fmt.Errorf("relation: no attribute %q", attr)
+}
+
+// Realize fills out (length N) with realizations of attr for one scenario.
+func (r *Relation) Realize(src rng.Source, attr string, scenario int, out []float64) error {
+	if len(out) != r.n {
+		return errors.New("relation: output slice length mismatch")
+	}
+	if i, ok := r.detIdx[attr]; ok {
+		copy(out, r.detCols[i])
+		return nil
+	}
+	i, ok := r.stochIdx[attr]
+	if !ok {
+		return fmt.Errorf("relation: no attribute %q", attr)
+	}
+	vg := r.stochs[i].vg
+	for t := 0; t < r.n; t++ {
+		out[t] = vg.Value(src, t, scenario)
+	}
+	return nil
+}
+
+// ComputeMeans populates the E(t_i.A) cache for every stochastic attribute,
+// mirroring the paper's precomputation phase (§3.2): attributes whose VG
+// function has a closed-form mean use it; others are estimated by streaming
+// averages over sampleM scenarios drawn from src (which should be the
+// validation source).
+func (r *Relation) ComputeMeans(src rng.Source, sampleM int) {
+	for _, sa := range r.stochs {
+		col := make([]float64, r.n)
+		exact := true
+		for t := 0; t < r.n; t++ {
+			m := sa.vg.ExactMean(t)
+			if math.IsNaN(m) {
+				exact = false
+				break
+			}
+			col[t] = m
+		}
+		if !exact {
+			for t := range col {
+				col[t] = 0
+			}
+			for j := 0; j < sampleM; j++ {
+				for t := 0; t < r.n; t++ {
+					col[t] += sa.vg.Value(src, t, j)
+				}
+			}
+			inv := 1 / float64(sampleM)
+			for t := range col {
+				col[t] *= inv
+			}
+		}
+		r.means[sa.name] = col
+	}
+}
+
+// SetMeans overrides the cached mean column for a stochastic attribute.
+func (r *Relation) SetMeans(attr string, means []float64) error {
+	if !r.IsStochastic(attr) {
+		return fmt.Errorf("relation: %q is not stochastic", attr)
+	}
+	if len(means) != r.n {
+		return errors.New("relation: means length mismatch")
+	}
+	r.means[attr] = means
+	return nil
+}
+
+// Means returns the mean column for an attribute: the deterministic values
+// for deterministic columns, the cached estimate for stochastic attributes.
+// ComputeMeans (or SetMeans) must have run for stochastic attributes.
+func (r *Relation) Means(attr string) ([]float64, error) {
+	if i, ok := r.detIdx[attr]; ok {
+		return r.detCols[i], nil
+	}
+	if _, ok := r.stochIdx[attr]; ok {
+		if m, ok := r.means[attr]; ok {
+			return m, nil
+		}
+		return nil, fmt.Errorf("relation: means not computed for %q", attr)
+	}
+	return nil, fmt.Errorf("relation: no attribute %q", attr)
+}
+
+// Select returns a view containing only the tuples for which keep returns
+// true (the sPaQL WHERE clause). The view preserves each kept tuple's
+// substream identity, so its stochastic behaviour (including cross-tuple
+// correlation) is unchanged. OrigIndex reports the mapping.
+func (r *Relation) Select(keep func(tuple int) bool) *Relation {
+	var orig []int
+	for t := 0; t < r.n; t++ {
+		if keep(t) {
+			orig = append(orig, t)
+		}
+	}
+	out := New(r.name, len(orig))
+	// Compose with any existing view mapping so OrigIndex is always
+	// relative to the original base relation, even for views of views.
+	out.origIdx = make([]int, len(orig))
+	for k, t := range orig {
+		out.origIdx[k] = r.OrigIndex(t)
+	}
+	for i, name := range r.detNames {
+		col := make([]float64, len(orig))
+		for k, t := range orig {
+			col[k] = r.detCols[i][t]
+		}
+		_ = out.AddDet(name, col)
+	}
+	for _, sa := range r.stochs {
+		_ = out.AddStoch(sa.name, &remappedVG{inner: sa.vg, orig: orig})
+	}
+	for attr, m := range r.means {
+		col := make([]float64, len(orig))
+		for k, t := range orig {
+			col[k] = m[t]
+		}
+		out.means[attr] = col
+	}
+	return out
+}
+
+// OrigIndex returns the base-relation tuple index for a view tuple; for a
+// base relation it is the identity.
+func (r *Relation) OrigIndex(tuple int) int {
+	if r.origIdx == nil {
+		return tuple
+	}
+	return r.origIdx[tuple]
+}

@@ -1,0 +1,117 @@
+package scenario
+
+import (
+	"spq/internal/relation"
+	"spq/internal/rng"
+)
+
+// Strategy selects the §5.5 memory-efficient generation order for scores and
+// summaries when scenario sets are not materialized. Both strategies observe
+// identical realizations (coordinate-pure VG functions); they differ only in
+// time/memory trade-offs: tuple-wise is Θ(M(P+N)) time and favours small
+// tables, scenario-wise is Θ(NM(α+1)) and favours large tables.
+type Strategy int
+
+const (
+	// TupleWise iterates tuples in the outer loop, generating each tuple's
+	// realizations across scenarios.
+	TupleWise Strategy = iota
+	// ScenarioWise iterates scenarios in the outer loop, generating whole
+	// rows.
+	ScenarioWise
+)
+
+func (s Strategy) String() string {
+	if s == TupleWise {
+		return "tuple-wise"
+	}
+	return "scenario-wise"
+}
+
+// StreamingScores computes the scenario scores Σ_i s_ij·x_i for the given
+// absolute scenario IDs directly from the relation's VG functions, without a
+// materialized Set. Only tuples with x_i ≠ 0 are realized (the package is
+// typically much smaller than the relation, §5.5).
+func StreamingScores(src rng.Source, rel *relation.Relation, attr string, x []float64, scenIDs []int, strat Strategy) ([]float64, error) {
+	scores := make([]float64, len(scenIDs))
+	var pkg []int
+	for i, xi := range x {
+		if xi != 0 {
+			pkg = append(pkg, i)
+		}
+	}
+	switch strat {
+	case TupleWise:
+		for _, i := range pkg {
+			for jj, id := range scenIDs {
+				v, err := rel.Value(src, attr, i, id)
+				if err != nil {
+					return nil, err
+				}
+				scores[jj] += v * x[i]
+			}
+		}
+	default: // ScenarioWise
+		for jj, id := range scenIDs {
+			sum := 0.0
+			for _, i := range pkg {
+				v, err := rel.Value(src, attr, i, id)
+				if err != nil {
+					return nil, err
+				}
+				sum += v * x[i]
+			}
+			scores[jj] = sum
+		}
+	}
+	return scores, nil
+}
+
+// StreamingSummary computes the tuple-wise extreme of the chosen absolute
+// scenario IDs directly from the relation's VG functions, in Θ(N) memory.
+// accel has the same meaning as in Set.Summarize.
+func StreamingSummary(src rng.Source, rel *relation.Relation, attr string, chosenIDs []int, dir Direction, accel []bool, strat Strategy) (*Summary, error) {
+	n := rel.N()
+	out := &Summary{Attr: attr, Values: make([]float64, n), Chosen: append([]int(nil), chosenIDs...)}
+	dirFor := func(i int) Direction {
+		if accel != nil && accel[i] {
+			return dir.Opposite()
+		}
+		return dir
+	}
+	switch strat {
+	case TupleWise:
+		for i := 0; i < n; i++ {
+			d := dirFor(i)
+			var acc float64
+			for k, id := range chosenIDs {
+				v, err := rel.Value(src, attr, i, id)
+				if err != nil {
+					return nil, err
+				}
+				if k == 0 || (d == Min && v < acc) || (d == Max && v > acc) {
+					acc = v
+				}
+			}
+			out.Values[i] = acc
+		}
+	default: // ScenarioWise
+		row := make([]float64, n)
+		for k, id := range chosenIDs {
+			if err := rel.Realize(src, attr, id, row); err != nil {
+				return nil, err
+			}
+			if k == 0 {
+				copy(out.Values, row)
+				continue
+			}
+			for i := 0; i < n; i++ {
+				d := dirFor(i)
+				if (d == Min && row[i] < out.Values[i]) || (d == Max && row[i] > out.Values[i]) {
+					out.Values[i] = row[i]
+				}
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,404 @@
+// Package sketch implements a SketchRefine-style divide-and-conquer layer
+// over SummarySearch, the scale-up direction the paper names for very large
+// datasets (§6.2.4, §8; SketchRefine is from Brucato et al., VLDB 2018).
+//
+// The relation is partitioned offline into groups of similar tuples
+// (k-means on the query-relevant attributes, using attribute means for
+// stochastic columns). The SKETCH phase solves the stochastic package query
+// over one medoid tuple per group — a problem with ⌈N/τ⌉ variables instead
+// of N — producing a per-group allotment. The REFINE phase re-solves the
+// query over only the tuples of the groups the sketch selected, a candidate
+// set that is typically a small fraction of N.
+//
+// This is a pruning variant of SketchRefine: refine re-optimizes the whole
+// package over the union of sketched groups in one solve (rather than
+// greedily per group), which keeps the stochastic constraints exact at the
+// cost of a slightly larger refine problem. DESIGN.md records the
+// deviation.
+package sketch
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"spq/internal/core"
+	"spq/internal/relation"
+	"spq/internal/rng"
+	"spq/internal/spaql"
+	"spq/internal/translate"
+)
+
+// Options tune the sketch layer.
+type Options struct {
+	// GroupSize is the partitioning threshold τ: groups hold at most ~τ
+	// tuples (default 64).
+	GroupSize int
+	// KMeansIters bounds Lloyd iterations (default 12).
+	KMeansIters int
+	// Seed drives k-means initialization.
+	Seed uint64
+	// MaxCandidates caps the refine problem size; when the sketch selects
+	// more, the groups with the largest allotments win (default 4·τ).
+	MaxCandidates int
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{}
+	if o != nil {
+		out = *o
+	}
+	if out.GroupSize == 0 {
+		out.GroupSize = 64
+	}
+	if out.KMeansIters == 0 {
+		out.KMeansIters = 12
+	}
+	if out.MaxCandidates == 0 {
+		out.MaxCandidates = 4 * out.GroupSize
+	}
+	return out
+}
+
+// Stats reports what the sketch layer did.
+type Stats struct {
+	Groups       int
+	SketchTuples int
+	Candidates   int
+	SketchTime   time.Duration
+	RefineTime   time.Duration
+	SketchObj    float64
+	FellBack     bool // sketch failed; solved on the full relation
+}
+
+// Partitioning holds a tuple clustering.
+type Partitioning struct {
+	// Group maps each tuple to its group id.
+	Group []int
+	// Members lists tuple indices per group.
+	Members [][]int
+	// Medoids holds the representative tuple per group.
+	Medoids []int
+}
+
+// Partition clusters the relation's tuples on the given feature columns
+// using seeded k-means with k = ⌈N/τ⌉, and picks the tuple nearest each
+// centroid as the group representative.
+func Partition(features [][]float64, n, tau int, iters int, seed uint64) *Partitioning {
+	if n == 0 {
+		return &Partitioning{}
+	}
+	k := (n + tau - 1) / tau
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	dims := len(features)
+	// Normalize features to [0, 1] so distances are scale-free.
+	norm := make([][]float64, dims)
+	for d, col := range features {
+		lo, hi := col[0], col[0]
+		for _, v := range col {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		span := hi - lo
+		if span < 1e-12 {
+			span = 1
+		}
+		nc := make([]float64, n)
+		for i, v := range col {
+			nc[i] = (v - lo) / span
+		}
+		norm[d] = nc
+	}
+	dist2 := func(i int, centroid []float64) float64 {
+		s := 0.0
+		for d := 0; d < dims; d++ {
+			diff := norm[d][i] - centroid[d]
+			s += diff * diff
+		}
+		return s
+	}
+	// Seeded distinct random initialization.
+	st := rng.NewStream(rng.Mix(seed, 0x5ce7c4))
+	centroids := make([][]float64, k)
+	used := map[int]bool{}
+	for c := 0; c < k; c++ {
+		var pick int
+		for {
+			pick = st.IntN(n)
+			if !used[pick] {
+				used[pick] = true
+				break
+			}
+		}
+		centroids[c] = make([]float64, dims)
+		for d := 0; d < dims; d++ {
+			centroids[c][d] = norm[d][pick]
+		}
+	}
+	assign := make([]int, n)
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				if d := dist2(i, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids.
+		counts := make([]int, k)
+		for c := range centroids {
+			for d := range centroids[c] {
+				centroids[c][d] = 0
+			}
+		}
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			counts[c]++
+			for d := 0; d < dims; d++ {
+				centroids[c][d] += norm[d][i]
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at a random point.
+				pick := st.IntN(n)
+				for d := 0; d < dims; d++ {
+					centroids[c][d] = norm[d][pick]
+				}
+				continue
+			}
+			for d := 0; d < dims; d++ {
+				centroids[c][d] /= float64(counts[c])
+			}
+		}
+		if !changed && it > 0 {
+			break
+		}
+	}
+	p := &Partitioning{Group: make([]int, n)}
+	members := map[int][]int{}
+	for i, c := range assign {
+		members[c] = append(members[c], i)
+	}
+	for c := 0; c < k; c++ {
+		group := members[c]
+		if len(group) == 0 {
+			continue
+		}
+		// Enforce the hard size cap τ: k-means may collapse clusters when
+		// many tuples share identical features; oversized clusters are
+		// split into τ-sized chunks (members within a cluster are
+		// interchangeable for sketching purposes).
+		for start := 0; start < len(group); start += tau {
+			end := start + tau
+			if end > len(group) {
+				end = len(group)
+			}
+			chunk := group[start:end]
+			gid := len(p.Members)
+			p.Members = append(p.Members, chunk)
+			// Medoid: chunk member closest to the centroid.
+			best, bestD := chunk[0], math.Inf(1)
+			for _, i := range chunk {
+				if d := dist2(i, centroids[c]); d < bestD {
+					best, bestD = i, d
+				}
+			}
+			p.Medoids = append(p.Medoids, best)
+			for _, i := range chunk {
+				p.Group[i] = gid
+			}
+		}
+	}
+	return p
+}
+
+// featureColumns picks the clustering features for a query: every
+// deterministic column and every stochastic attribute's mean column that
+// the query references.
+func featureColumns(silp *translate.SILP) ([][]float64, error) {
+	rel := silp.Rel
+	seen := map[string]bool{}
+	var features [][]float64
+	add := func(attr string) error {
+		if seen[attr] {
+			return nil
+		}
+		seen[attr] = true
+		col, err := rel.Means(attr) // det columns pass through, stoch = means
+		if err != nil {
+			return err
+		}
+		features = append(features, col)
+		return nil
+	}
+	collect := func(e spaql.LinExpr) error {
+		for _, attr := range e.Attrs() {
+			if err := add(attr); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, c := range silp.Query.Constraints {
+		if err := collect(c.Expr); err != nil {
+			return nil, err
+		}
+	}
+	if silp.Query.Objective != nil {
+		if err := collect(silp.Query.Objective.Expr); err != nil {
+			return nil, err
+		}
+	}
+	if len(features) == 0 {
+		return nil, errors.New("sketch: query references no attributes to cluster on")
+	}
+	return features, nil
+}
+
+// Solve evaluates a stochastic package query with the sketch-refine layer
+// around SummarySearch. The returned solution's X indexes the
+// (WHERE-filtered) relation exactly like core.SummarySearch's.
+func Solve(q *spaql.Query, rel *relation.Relation, copts *core.Options, sopts *Options) (*core.Solution, *Stats, error) {
+	so := sopts.withDefaults()
+	silp, err := translate.Build(q, rel, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	view := silp.Rel // WHERE applied
+	n := view.N()
+	stats := &Stats{}
+
+	if n <= so.MaxCandidates {
+		// Small enough to solve directly.
+		sol, err := core.SummarySearch(silp, copts)
+		stats.FellBack = true
+		stats.Candidates = n
+		return sol, stats, err
+	}
+
+	features, err := featureColumns(silp)
+	if err != nil {
+		return nil, nil, err
+	}
+	part := Partition(features, n, so.GroupSize, so.KMeansIters, so.Seed)
+	stats.Groups = len(part.Members)
+	stats.SketchTuples = len(part.Medoids)
+
+	// SKETCH: solve over the medoids. The medoid view preserves substream
+	// identity, so its stochastic behaviour matches the base tuples.
+	isMedoid := make([]bool, n)
+	for _, m := range part.Medoids {
+		isMedoid[m] = true
+	}
+	groupOfMedoidRow := make([]int, 0, len(part.Medoids))
+	for i := 0; i < n; i++ {
+		if isMedoid[i] {
+			groupOfMedoidRow = append(groupOfMedoidRow, part.Group[i])
+		}
+	}
+	sketchRel := view.Select(func(t int) bool { return isMedoid[t] })
+	qNoWhere := *q
+	qNoWhere.Where = nil // already applied in view
+	sketchStart := time.Now()
+	sketchSILP, err := translate.Build(&qNoWhere, sketchRel, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	// A medoid stands for its whole group: allow multiplicity up to the
+	// group's aggregate capacity.
+	for row, g := range groupOfMedoidRow {
+		size := float64(len(part.Members[g]))
+		sketchSILP.VarHi[row] = math.Min(sketchSILP.VarHi[row]*size, sketchSILP.VarHi[row]+size*4)
+	}
+	sketchSol, err := core.SummarySearch(sketchSILP, copts)
+	stats.SketchTime = time.Since(sketchStart)
+	if err != nil || !sketchSol.Feasible {
+		// Sketch failed: fall back to the full problem.
+		if err != nil && !errors.Is(err, core.ErrInfeasible) {
+			return nil, nil, fmt.Errorf("sketch: sketch phase: %w", err)
+		}
+		stats.FellBack = true
+		refineStart := time.Now()
+		sol, err := core.SummarySearch(silp, copts)
+		stats.RefineTime = time.Since(refineStart)
+		stats.Candidates = n
+		return sol, stats, err
+	}
+	stats.SketchObj = sketchSol.Objective
+
+	// REFINE: solve over the tuples of the groups the sketch used, largest
+	// allotments first, capped at MaxCandidates.
+	type allot struct {
+		group int
+		count float64
+	}
+	var chosen []allot
+	for row, x := range sketchSol.X {
+		if x > 0 {
+			chosen = append(chosen, allot{group: groupOfMedoidRow[row], count: x})
+		}
+	}
+	// Order by allotment descending (simple insertion; few groups).
+	for i := 1; i < len(chosen); i++ {
+		for j := i; j > 0 && chosen[j].count > chosen[j-1].count; j-- {
+			chosen[j], chosen[j-1] = chosen[j-1], chosen[j]
+		}
+	}
+	inCandidate := make([]bool, n)
+	count := 0
+	for _, a := range chosen {
+		members := part.Members[a.group]
+		if count+len(members) > so.MaxCandidates && count > 0 {
+			continue
+		}
+		for _, t := range members {
+			if !inCandidate[t] {
+				inCandidate[t] = true
+				count++
+			}
+		}
+	}
+	stats.Candidates = count
+
+	candRel := view.Select(func(t int) bool { return inCandidate[t] })
+	refineStart := time.Now()
+	refineSILP, err := translate.Build(&qNoWhere, candRel, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	refined, err := core.SummarySearch(refineSILP, copts)
+	stats.RefineTime = time.Since(refineStart)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Map the refined solution back to view indexing.
+	out := *refined
+	out.X = make([]float64, n)
+	candRow := 0
+	for t := 0; t < n; t++ {
+		if inCandidate[t] {
+			if refined.X != nil {
+				out.X[t] = refined.X[candRow]
+			}
+			candRow++
+		}
+	}
+	if refined.X == nil {
+		out.X = nil
+	}
+	return &out, stats, nil
+}

@@ -1,0 +1,335 @@
+// Package spaql implements the sPaQL query language of the paper
+// (Appendix A): PaQL package queries extended with EXPECTED and
+// probabilistic (WITH PROBABILITY) constraints and objectives. It provides
+// a lexer, a recursive-descent parser, an AST with a round-trippable
+// printer, and schema validation.
+package spaql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CmpOp is a comparison operator.
+type CmpOp int
+
+const (
+	OpLE CmpOp = iota // ≤
+	OpGE              // ≥
+	OpEQ              // =
+	OpLT              // <
+	OpGT              // >
+	OpNE              // <> / !=
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case OpLE:
+		return "<="
+	case OpGE:
+		return ">="
+	case OpEQ:
+		return "="
+	case OpLT:
+		return "<"
+	case OpGT:
+		return ">"
+	case OpNE:
+		return "<>"
+	default:
+		return fmt.Sprintf("CmpOp(%d)", int(op))
+	}
+}
+
+// Compare evaluates `a op b`.
+func (op CmpOp) Compare(a, b float64) bool {
+	switch op {
+	case OpLE:
+		return a <= b
+	case OpGE:
+		return a >= b
+	case OpEQ:
+		return a == b
+	case OpLT:
+		return a < b
+	case OpGT:
+		return a > b
+	case OpNE:
+		return a != b
+	default:
+		return false
+	}
+}
+
+// Term is one linear term coef·attr.
+type Term struct {
+	Coef float64
+	Attr string
+}
+
+// LinExpr is a linear function of tuple attributes, f(R) = Σ coef·attr +
+// const. A cardinality COUNT(*) is represented by the translation layer as
+// the pure-constant expression 1.
+type LinExpr struct {
+	Terms []Term
+	Const float64
+}
+
+// Attrs returns the distinct attribute names referenced by the expression.
+func (e LinExpr) Attrs() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, t := range e.Terms {
+		if !seen[t.Attr] {
+			seen[t.Attr] = true
+			out = append(out, t.Attr)
+		}
+	}
+	return out
+}
+
+func (e LinExpr) String() string {
+	if len(e.Terms) == 0 {
+		return trimFloat(e.Const)
+	}
+	var sb strings.Builder
+	for i, t := range e.Terms {
+		switch {
+		case i == 0 && t.Coef == 1:
+			sb.WriteString(t.Attr)
+		case i == 0 && t.Coef == -1:
+			sb.WriteString("-" + t.Attr)
+		case i == 0:
+			fmt.Fprintf(&sb, "%s * %s", trimFloat(t.Coef), t.Attr)
+		case t.Coef == 1:
+			sb.WriteString(" + " + t.Attr)
+		case t.Coef == -1:
+			sb.WriteString(" - " + t.Attr)
+		case t.Coef < 0:
+			fmt.Fprintf(&sb, " - %s * %s", trimFloat(-t.Coef), t.Attr)
+		default:
+			fmt.Fprintf(&sb, " + %s * %s", trimFloat(t.Coef), t.Attr)
+		}
+	}
+	if e.Const > 0 {
+		fmt.Fprintf(&sb, " + %s", trimFloat(e.Const))
+	} else if e.Const < 0 {
+		fmt.Fprintf(&sb, " - %s", trimFloat(-e.Const))
+	}
+	return sb.String()
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return s
+}
+
+// AggKind distinguishes COUNT(*) from SUM(f(R)).
+type AggKind int
+
+const (
+	AggSum AggKind = iota
+	AggCount
+)
+
+// ProbClause is the WITH PROBABILITY ⊙ p suffix of a probabilistic
+// constraint.
+type ProbClause struct {
+	Op CmpOp // OpGE or OpLE (the paper permits both; ≤ is rewritten later)
+	P  float64
+}
+
+// Constraint is one SUCH THAT conjunct.
+type Constraint struct {
+	Agg      AggKind
+	Expr     LinExpr // meaningful for AggSum
+	Expected bool    // EXPECTED SUM(...) — expectation constraint
+
+	// Filter restricts the aggregate to package tuples satisfying the
+	// predicate — the PaQL general form
+	// (SELECT SUM(f(R)) WHERE pred FROM P) ⊙ v of Appendix A. Nil means no
+	// restriction.
+	Filter BoolExpr
+
+	// Either a single comparison (Op, Value) or a BETWEEN range.
+	Between bool
+	Op      CmpOp
+	Value   float64
+	Lo, Hi  float64
+
+	// Prob is non-nil for probabilistic constraints.
+	Prob *ProbClause
+}
+
+func (c *Constraint) String() string {
+	var sb strings.Builder
+	if c.Expected {
+		sb.WriteString("EXPECTED ")
+	}
+	agg := "COUNT(*)"
+	if c.Agg == AggSum {
+		agg = fmt.Sprintf("SUM(%s)", c.Expr.String())
+	}
+	if c.Filter != nil {
+		fmt.Fprintf(&sb, "(SELECT %s WHERE %s FROM P)", agg, c.Filter)
+	} else {
+		sb.WriteString(agg)
+	}
+	if c.Between {
+		fmt.Fprintf(&sb, " BETWEEN %s AND %s", trimFloat(c.Lo), trimFloat(c.Hi))
+	} else {
+		fmt.Fprintf(&sb, " %s %s", c.Op, trimFloat(c.Value))
+	}
+	if c.Prob != nil {
+		fmt.Fprintf(&sb, " WITH PROBABILITY %s %s", c.Prob.Op, trimFloat(c.Prob.P))
+	}
+	return sb.String()
+}
+
+// ObjSense is the optimization direction.
+type ObjSense int
+
+const (
+	Minimize ObjSense = iota
+	Maximize
+)
+
+func (s ObjSense) String() string {
+	if s == Minimize {
+		return "MINIMIZE"
+	}
+	return "MAXIMIZE"
+}
+
+// ObjKind is the objective form.
+type ObjKind int
+
+const (
+	// ObjDeterministic is MIN/MAXIMIZE SUM(f) over deterministic attributes.
+	ObjDeterministic ObjKind = iota
+	// ObjExpected is MIN/MAXIMIZE EXPECTED SUM(f).
+	ObjExpected
+	// ObjProbability is MIN/MAXIMIZE PROBABILITY OF SUM(f) ⊙ v.
+	ObjProbability
+	// ObjCount is MIN/MAXIMIZE COUNT(*).
+	ObjCount
+)
+
+// Objective is the optional MAXIMIZE/MINIMIZE clause.
+type Objective struct {
+	Sense ObjSense
+	Kind  ObjKind
+	Expr  LinExpr
+	// Filter restricts the aggregate to matching package tuples (PaQL
+	// general form); nil means no restriction.
+	Filter BoolExpr
+	// Op and Value define the inner constraint for ObjProbability.
+	Op    CmpOp
+	Value float64
+}
+
+func (o *Objective) String() string {
+	var sb strings.Builder
+	sb.WriteString(o.Sense.String())
+	sb.WriteByte(' ')
+	agg := fmt.Sprintf("SUM(%s)", o.Expr.String())
+	if o.Kind == ObjCount {
+		agg = "COUNT(*)"
+	}
+	if o.Filter != nil {
+		agg = fmt.Sprintf("(SELECT %s WHERE %s FROM P)", agg, o.Filter)
+	}
+	switch o.Kind {
+	case ObjCount, ObjDeterministic:
+		sb.WriteString(agg)
+	case ObjExpected:
+		sb.WriteString("EXPECTED " + agg)
+	case ObjProbability:
+		fmt.Fprintf(&sb, "PROBABILITY OF %s %s %s", agg, o.Op, trimFloat(o.Value))
+	}
+	return sb.String()
+}
+
+// BoolExpr is a WHERE-clause predicate over deterministic attributes.
+type BoolExpr interface {
+	// Eval evaluates the predicate with attribute values supplied by get.
+	Eval(get func(attr string) float64) bool
+	// Attrs appends the referenced attribute names to dst.
+	Attrs(dst []string) []string
+	String() string
+}
+
+// Cmp is attr ⊙ value.
+type Cmp struct {
+	Attr  string
+	Op    CmpOp
+	Value float64
+}
+
+func (c *Cmp) Eval(get func(string) float64) bool { return c.Op.Compare(get(c.Attr), c.Value) }
+func (c *Cmp) Attrs(dst []string) []string        { return append(dst, c.Attr) }
+func (c *Cmp) String() string {
+	return fmt.Sprintf("%s %s %s", c.Attr, c.Op, trimFloat(c.Value))
+}
+
+// And is a conjunction.
+type And struct{ L, R BoolExpr }
+
+func (a *And) Eval(get func(string) float64) bool { return a.L.Eval(get) && a.R.Eval(get) }
+func (a *And) Attrs(dst []string) []string        { return a.R.Attrs(a.L.Attrs(dst)) }
+func (a *And) String() string                     { return fmt.Sprintf("(%s AND %s)", a.L, a.R) }
+
+// Or is a disjunction.
+type Or struct{ L, R BoolExpr }
+
+func (o *Or) Eval(get func(string) float64) bool { return o.L.Eval(get) || o.R.Eval(get) }
+func (o *Or) Attrs(dst []string) []string        { return o.R.Attrs(o.L.Attrs(dst)) }
+func (o *Or) String() string                     { return fmt.Sprintf("(%s OR %s)", o.L, o.R) }
+
+// Not is a negation.
+type Not struct{ E BoolExpr }
+
+func (n *Not) Eval(get func(string) float64) bool { return !n.E.Eval(get) }
+func (n *Not) Attrs(dst []string) []string        { return n.E.Attrs(dst) }
+func (n *Not) String() string                     { return fmt.Sprintf("NOT %s", n.E) }
+
+// Query is a parsed sPaQL query.
+type Query struct {
+	Alias       string // package alias from AS, may be empty
+	Table       string
+	Repeat      int // REPEAT limit l (max l+1 copies per tuple); -1 if absent
+	Where       BoolExpr
+	Constraints []*Constraint
+	Objective   *Objective
+}
+
+// String renders the query in canonical sPaQL; Parse(q.String()) reproduces
+// the AST.
+func (q *Query) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT PACKAGE(*)")
+	if q.Alias != "" {
+		fmt.Fprintf(&sb, " AS %s", q.Alias)
+	}
+	fmt.Fprintf(&sb, " FROM %s", q.Table)
+	if q.Repeat >= 0 {
+		fmt.Fprintf(&sb, " REPEAT %d", q.Repeat)
+	}
+	if q.Where != nil {
+		fmt.Fprintf(&sb, " WHERE %s", q.Where)
+	}
+	if len(q.Constraints) > 0 {
+		sb.WriteString(" SUCH THAT ")
+		for i, c := range q.Constraints {
+			if i > 0 {
+				sb.WriteString(" AND ")
+			}
+			sb.WriteString(c.String())
+		}
+	}
+	if q.Objective != nil {
+		sb.WriteByte(' ')
+		sb.WriteString(q.Objective.String())
+	}
+	return sb.String()
+}

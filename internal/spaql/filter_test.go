@@ -1,0 +1,134 @@
+package spaql
+
+import (
+	"strings"
+	"testing"
+)
+
+// Tests for the PaQL general constraint form of Appendix A:
+// (SELECT SUM(f(R)) WHERE pred FROM P) ⊙ v.
+
+func TestParseGeneralFormConstraint(t *testing.T) {
+	q, err := Parse(`SELECT PACKAGE(*) AS P FROM t SUCH THAT
+		(SELECT SUM(price) WHERE qty > 2 FROM P) <= 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := q.Constraints[0]
+	if c.Filter == nil {
+		t.Fatal("missing filter")
+	}
+	if c.Agg != AggSum || c.Op != OpLE || c.Value != 100 {
+		t.Fatalf("constraint = %+v", c)
+	}
+	get := func(a string) float64 {
+		if a == "qty" {
+			return 3
+		}
+		return 0
+	}
+	if !c.Filter.Eval(get) {
+		t.Fatal("filter should pass qty=3")
+	}
+}
+
+func TestParseGeneralFormCount(t *testing.T) {
+	q, err := Parse(`SELECT PACKAGE(*) AS P FROM t SUCH THAT
+		(SELECT COUNT(*) WHERE region = 1 FROM P) BETWEEN 1 AND 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := q.Constraints[0]
+	if c.Agg != AggCount || !c.Between || c.Filter == nil {
+		t.Fatalf("constraint = %+v", c)
+	}
+}
+
+func TestParseGeneralFormProbabilistic(t *testing.T) {
+	q, err := Parse(`SELECT PACKAGE(*) AS P FROM t SUCH THAT
+		(SELECT SUM(gain) WHERE risky = 1 FROM P) >= -5 WITH PROBABILITY >= 0.9`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := q.Constraints[0]
+	if c.Filter == nil || c.Prob == nil {
+		t.Fatalf("constraint = %+v", c)
+	}
+}
+
+func TestParseGeneralFormObjective(t *testing.T) {
+	q, err := Parse(`SELECT PACKAGE(*) AS P FROM t
+		MAXIMIZE EXPECTED (SELECT SUM(gain) WHERE sector = 2 FROM P)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Objective.Filter == nil || q.Objective.Kind != ObjExpected {
+		t.Fatalf("objective = %+v", q.Objective)
+	}
+}
+
+func TestParseGeneralFormNoFilter(t *testing.T) {
+	// The subselect form without WHERE degenerates to the plain aggregate.
+	q, err := Parse(`SELECT PACKAGE(*) AS P FROM t SUCH THAT
+		(SELECT SUM(price) FROM P) <= 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Constraints[0].Filter != nil {
+		t.Fatal("no-WHERE subselect should have nil filter")
+	}
+}
+
+func TestGeneralFormRoundTrip(t *testing.T) {
+	queries := []string{
+		`SELECT PACKAGE(*) AS P FROM t SUCH THAT (SELECT SUM(price) WHERE qty > 2 FROM P) <= 100`,
+		`SELECT PACKAGE(*) AS P FROM t SUCH THAT (SELECT SUM(g) WHERE a = 1 FROM P) >= 0 WITH PROBABILITY >= 0.9`,
+		`SELECT PACKAGE(*) AS P FROM t MAXIMIZE PROBABILITY OF (SELECT SUM(g) WHERE b < 3 FROM P) >= 10`,
+	}
+	for _, src := range queries {
+		q1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		printed := q1.String()
+		q2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", printed, err)
+		}
+		if q2.String() != printed {
+			t.Fatalf("round trip unstable: %s vs %s", printed, q2.String())
+		}
+	}
+}
+
+func TestGeneralFormParseErrors(t *testing.T) {
+	bad := []string{
+		`SELECT PACKAGE(*) FROM t SUCH THAT (SELECT SUM(a) WHERE FROM P) <= 1`,
+		`SELECT PACKAGE(*) FROM t SUCH THAT (SELECT SUM(a) WHERE b > 1 P) <= 1`,
+		`SELECT PACKAGE(*) FROM t SUCH THAT (SELECT SUM(a) WHERE b > 1 FROM) <= 1`,
+		`SELECT PACKAGE(*) FROM t SUCH THAT (SELECT SUM(a) WHERE b > 1 FROM P <= 1`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestValidateFilterRejectsStochastic(t *testing.T) {
+	q := MustParse(`SELECT PACKAGE(*) AS P FROM t SUCH THAT
+		(SELECT SUM(price) WHERE gain > 0 FROM P) <= 100`)
+	err := q.Validate(schema)
+	if err == nil || !strings.Contains(err.Error(), "stochastic") {
+		t.Fatalf("err = %v, want stochastic-filter rejection", err)
+	}
+}
+
+func TestValidateFilterRejectsUnknown(t *testing.T) {
+	q := MustParse(`SELECT PACKAGE(*) AS P FROM t
+		MAXIMIZE EXPECTED (SELECT SUM(gain) WHERE nope = 1 FROM P)`)
+	err := q.Validate(schema)
+	if err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Fatalf("err = %v, want unknown-attribute rejection", err)
+	}
+}

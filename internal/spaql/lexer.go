@@ -1,0 +1,146 @@
+package spaql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokKeyword
+	tokSymbol
+)
+
+// token is one lexical token with its source position (for error messages).
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased, symbols canonical
+	num  float64
+	pos  int
+}
+
+// keywords recognized case-insensitively.
+var keywords = map[string]bool{
+	"SELECT": true, "PACKAGE": true, "AS": true, "FROM": true,
+	"REPEAT": true, "WHERE": true, "SUCH": true, "THAT": true,
+	"AND": true, "OR": true, "NOT": true, "COUNT": true, "SUM": true,
+	"BETWEEN": true, "EXPECTED": true, "WITH": true, "PROBABILITY": true,
+	"MAXIMIZE": true, "MINIMIZE": true, "OF": true,
+}
+
+// lex tokenizes an sPaQL string.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		// Multi-byte comparison glyphs (the paper writes ≤/≥) must be
+		// recognized before byte-wise classification: their lead byte 0xE2
+		// would otherwise decode as a letter.
+		if strings.HasPrefix(input[i:], "≤") {
+			toks = append(toks, token{kind: tokSymbol, text: "<=", pos: i})
+			i += len("≤")
+			continue
+		}
+		if strings.HasPrefix(input[i:], "≥") {
+			toks = append(toks, token{kind: tokSymbol, text: ">=", pos: i})
+			i += len("≥")
+			continue
+		}
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			// SQL-style line comment.
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < n && (isIdentChar(rune(input[i]))) {
+				i++
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, token{kind: tokKeyword, text: upper, pos: start})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, pos: start})
+			}
+		case unicode.IsDigit(c) || (c == '.' && i+1 < n && unicode.IsDigit(rune(input[i+1]))):
+			start := i
+			for i < n && (unicode.IsDigit(rune(input[i])) || input[i] == '.' ||
+				input[i] == 'e' || input[i] == 'E' ||
+				((input[i] == '+' || input[i] == '-') && i > start && (input[i-1] == 'e' || input[i-1] == 'E'))) {
+				i++
+			}
+			text := input[start:i]
+			v, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("spaql: invalid number %q at offset %d", text, start)
+			}
+			toks = append(toks, token{kind: tokNumber, text: text, num: v, pos: start})
+		default:
+			start := i
+			var sym string
+			switch c {
+			case '<':
+				if i+1 < n && input[i+1] == '=' {
+					sym, i = "<=", i+2
+				} else if i+1 < n && input[i+1] == '>' {
+					sym, i = "<>", i+2
+				} else {
+					sym, i = "<", i+1
+				}
+			case '>':
+				if i+1 < n && input[i+1] == '=' {
+					sym, i = ">=", i+2
+				} else {
+					sym, i = ">", i+1
+				}
+			case '!':
+				if i+1 < n && input[i+1] == '=' {
+					sym, i = "<>", i+2
+				} else {
+					return nil, fmt.Errorf("spaql: unexpected character %q at offset %d", c, start)
+				}
+			case '=', '(', ')', '*', ',', '+', '-', '/':
+				sym, i = string(c), i+1
+			default:
+				return nil, fmt.Errorf("spaql: unexpected character %q at offset %d", c, start)
+			}
+			toks = append(toks, token{kind: tokSymbol, text: sym, pos: start})
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}
+
+func isIdentChar(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_'
+}
+
+// Tokens returns the lexed token texts of an sPaQL string; it is exposed for
+// tooling and tests (the parser consumes tokens directly).
+func Tokens(input string) ([]string, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(toks)-1)
+	for _, t := range toks {
+		if t.kind == tokEOF {
+			break
+		}
+		out = append(out, t.text)
+	}
+	return out, nil
+}

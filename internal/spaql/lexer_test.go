@@ -1,0 +1,100 @@
+package spaql
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTokensBasic(t *testing.T) {
+	toks, err := Tokens("SELECT PACKAGE(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"SELECT", "PACKAGE", "(", "*", ")", "FROM", "t"}
+	if len(toks) != len(want) {
+		t.Fatalf("tokens = %v", toks)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Fatalf("token %d = %q, want %q", i, toks[i], want[i])
+		}
+	}
+}
+
+func TestTokensOperators(t *testing.T) {
+	toks, err := Tokens("<= >= < > = <> != ≤ ≥")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"<=", ">=", "<", ">", "=", "<>", "<>", "<=", ">="}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Fatalf("token %d = %q, want %q (all: %v)", i, toks[i], want[i], toks)
+		}
+	}
+}
+
+func TestTokensNumbers(t *testing.T) {
+	toks, err := Tokens("1 2.5 1e3 1.5E-2 .5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 5 {
+		t.Fatalf("tokens = %v", toks)
+	}
+}
+
+func TestTokensComments(t *testing.T) {
+	toks, err := Tokens("a -- comment with SUM(price) <= junk\nb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 2 || toks[0] != "a" || toks[1] != "b" {
+		t.Fatalf("tokens = %v", toks)
+	}
+}
+
+func TestTokensRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"@", "#x", "a $ b", "1.2.3e"} {
+		if _, err := Tokens(bad); err == nil {
+			t.Errorf("Tokens(%q) succeeded", bad)
+		}
+	}
+}
+
+// Property: the lexer never panics and either returns tokens or an error,
+// on arbitrary (including invalid UTF-8) input. Parsing likewise.
+func TestLexerTotalOnArbitraryInput(t *testing.T) {
+	f := func(input string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on input %q: %v", input, r)
+			}
+		}()
+		_, _ = Tokens(input)
+		_, _ = Parse(input)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLexerTotalOnBytePatterns(t *testing.T) {
+	// Adversarial byte patterns: truncated UTF-8, lone continuation bytes,
+	// the lead byte of ≤ followed by garbage.
+	inputs := []string{
+		"\xe2", "\xe2\x89", "\xe2\x89\xff", "\xff\xfe", "a\x80b",
+		"SUM(\xe2\x89\xa4)", "≤≥≤≥", "--\xe2",
+	}
+	for _, in := range inputs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", in, r)
+				}
+			}()
+			_, _ = Parse(in)
+		}()
+	}
+}

@@ -1,0 +1,138 @@
+package spaql
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Schema exposes the attribute metadata validation needs; *relation.Relation
+// satisfies it.
+type Schema interface {
+	HasAttr(name string) bool
+	IsStochastic(name string) bool
+}
+
+// Validate checks the query against a schema: attributes must exist,
+// stochastic attributes may appear only under EXPECTED, WITH PROBABILITY or
+// PROBABILITY OF forms, WHERE predicates must be deterministic, and clause
+// parameters must be sensible. It returns the first error found.
+func (q *Query) Validate(s Schema) error {
+	if q.Table == "" {
+		return errors.New("spaql: query has no table")
+	}
+	if q.Where != nil {
+		for _, attr := range q.Where.Attrs(nil) {
+			if !s.HasAttr(attr) {
+				return fmt.Errorf("spaql: WHERE references unknown attribute %q", attr)
+			}
+			if s.IsStochastic(attr) {
+				return fmt.Errorf("spaql: WHERE must be deterministic but references stochastic attribute %q", attr)
+			}
+		}
+	}
+	for i, c := range q.Constraints {
+		if err := validateConstraint(c, s); err != nil {
+			return fmt.Errorf("spaql: constraint %d: %w", i+1, err)
+		}
+	}
+	if q.Objective != nil {
+		if err := validateObjective(q.Objective, s); err != nil {
+			return fmt.Errorf("spaql: objective: %w", err)
+		}
+	}
+	return nil
+}
+
+func exprStochastic(e LinExpr, s Schema) (bool, error) {
+	stoch := false
+	for _, attr := range e.Attrs() {
+		if !s.HasAttr(attr) {
+			return false, fmt.Errorf("unknown attribute %q", attr)
+		}
+		if s.IsStochastic(attr) {
+			stoch = true
+		}
+	}
+	return stoch, nil
+}
+
+// validateFilter checks a per-aggregate selection predicate (PaQL general
+// form): it must reference only existing deterministic attributes.
+func validateFilter(f BoolExpr, s Schema) error {
+	if f == nil {
+		return nil
+	}
+	for _, attr := range f.Attrs(nil) {
+		if !s.HasAttr(attr) {
+			return fmt.Errorf("aggregate filter references unknown attribute %q", attr)
+		}
+		if s.IsStochastic(attr) {
+			return fmt.Errorf("aggregate filter must be deterministic but references stochastic attribute %q", attr)
+		}
+	}
+	return nil
+}
+
+func validateConstraint(c *Constraint, s Schema) error {
+	if err := validateFilter(c.Filter, s); err != nil {
+		return err
+	}
+	if c.Agg == AggCount {
+		if c.Expected || c.Prob != nil {
+			return errors.New("COUNT(*) is deterministic; EXPECTED/WITH PROBABILITY do not apply")
+		}
+		return nil
+	}
+	stoch, err := exprStochastic(c.Expr, s)
+	if err != nil {
+		return err
+	}
+	if stoch && !c.Expected && c.Prob == nil {
+		return fmt.Errorf("constraint on stochastic attribute(s) %v must use EXPECTED or WITH PROBABILITY", c.Expr.Attrs())
+	}
+	if !stoch && c.Prob != nil {
+		return errors.New("WITH PROBABILITY on a deterministic expression is vacuous")
+	}
+	if c.Expected && c.Prob != nil {
+		return errors.New("a constraint cannot be both EXPECTED and probabilistic")
+	}
+	if c.Prob != nil {
+		if c.Between {
+			return errors.New("probabilistic BETWEEN constraints are not supported (the inner constraint must be one-sided)")
+		}
+		if c.Op != OpLE && c.Op != OpGE {
+			return errors.New("probabilistic inner constraint must use <= or >=")
+		}
+		if c.Prob.P <= 0 || c.Prob.P >= 1 {
+			return fmt.Errorf("probability threshold %v must be in (0, 1)", c.Prob.P)
+		}
+	}
+	return nil
+}
+
+func validateObjective(o *Objective, s Schema) error {
+	if err := validateFilter(o.Filter, s); err != nil {
+		return err
+	}
+	if o.Kind == ObjCount {
+		return nil
+	}
+	stoch, err := exprStochastic(o.Expr, s)
+	if err != nil {
+		return err
+	}
+	switch o.Kind {
+	case ObjDeterministic:
+		if stoch {
+			return fmt.Errorf("objective over stochastic attribute(s) %v must use EXPECTED or PROBABILITY OF", o.Expr.Attrs())
+		}
+	case ObjProbability:
+		if !stoch {
+			return errors.New("PROBABILITY OF over a deterministic expression is vacuous")
+		}
+		if o.Op != OpLE && o.Op != OpGE {
+			return errors.New("PROBABILITY OF inner constraint must use <= or >=")
+		}
+	}
+	return nil
+}

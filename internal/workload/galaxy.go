@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"spq/internal/dist"
+	"spq/internal/relation"
+	"spq/internal/rng"
+)
+
+// galaxyRow describes one Table 3 Galaxy query: the noise model applied to
+// the base telescope reading, the inner-constraint direction, and v.
+type galaxyRow struct {
+	id        string
+	noise     string // "normal", "normal*", "pareto", "pareto*"
+	sigma     float64
+	supported bool // supported objective: SUM ≤ v; counteracted: SUM ≥ v
+	v         float64
+}
+
+// galaxyRows reproduces Table 3 (Galaxy): p = 0.9 throughout, objective
+// MINIMIZE EXPECTED SUM(petromag_r), COUNT(*) BETWEEN 5 AND 10.
+var galaxyRows = []galaxyRow{
+	{"Q1", "normal", 2, false, 40},
+	{"Q2", "normal*", 3, false, 43},
+	{"Q3", "normal", 2, true, 50},
+	{"Q4", "normal*", 3, true, 52},
+	{"Q5", "pareto", 1, false, 65},
+	{"Q6", "pareto*", 1, false, 65},
+	{"Q7", "pareto", 1, true, 109},
+	{"Q8", "pareto*", 3, true, 90},
+}
+
+// Galaxy generates the noisy-sensor workload: each tuple is a sky region
+// with a base petromag_r reading (synthetic stand-in for SDSS DR12, drawn
+// uniformly from [5, 15]); each query perturbs it with the Table 3 noise
+// model. Every query gets its own table because the noise model differs per
+// query.
+func Galaxy(cfg Config) *Instance {
+	cfg = cfg.withDefaults()
+	in := &Instance{Name: "galaxy", Tables: map[string]*relation.Relation{}}
+	bs := baseStream(cfg.Seed, 1)
+	base := make([]float64, cfg.N)
+	for i := range base {
+		base[i] = 5 + 10*bs.Float64()
+	}
+	meansSrc := rng.NewSource(rng.Mix(cfg.Seed, 0x3ea5))
+
+	for qi, row := range galaxyRows {
+		table := fmt.Sprintf("galaxy_%s", row.id)
+		rel := relation.New(table, cfg.N)
+		baseCopy := append([]float64(nil), base...)
+		if err := rel.AddDet("base_r", baseCopy); err != nil {
+			panic(err)
+		}
+		// Per-tuple random spread for the σ*-style rows: |N(0, σ*)|.
+		spread := rng.NewStream(rng.Mix(cfg.Seed, 2, uint64(qi)))
+		dists := make([]dist.Dist, cfg.N)
+		for i := 0; i < cfg.N; i++ {
+			switch row.noise {
+			case "normal":
+				dists[i] = dist.Normal{Mu: base[i], Sigma: row.sigma}
+			case "normal*":
+				s := math.Abs(spread.Norm() * row.sigma)
+				if s < 0.1 {
+					s = 0.1
+				}
+				dists[i] = dist.Normal{Mu: base[i], Sigma: s}
+			case "pareto":
+				dists[i] = dist.Shifted{Off: base[i], D: dist.Pareto{Sigma: row.sigma, Alpha: 1}}
+			case "pareto*":
+				s := math.Abs(spread.Norm() * row.sigma)
+				if s < 0.1 {
+					s = 0.1
+				}
+				dists[i] = dist.Shifted{Off: base[i], D: dist.Pareto{Sigma: s, Alpha: 1}}
+			}
+		}
+		if err := rel.AddStoch("petromag_r", &relation.IndependentVG{
+			AttrID: rng.Mix(0x9a1a, uint64(qi)),
+			Dists:  dists,
+		}); err != nil {
+			panic(err)
+		}
+		rel.ComputeMeans(meansSrc.Derive(uint64(qi)), cfg.MeansM)
+		in.Tables[table] = rel
+
+		op := ">="
+		kind := "counteracted"
+		if row.supported {
+			op = "<="
+			kind = "supported"
+		}
+		in.Queries = append(in.Queries, Query{
+			ID:       row.id,
+			Table:    table,
+			Feasible: true,
+			FixedZ:   1,
+			Description: fmt.Sprintf("%s noise σ=%g, %s objective, p=0.9, v=%g",
+				row.noise, row.sigma, kind, row.v),
+			SPaQL: fmt.Sprintf(`SELECT PACKAGE(*) FROM %s SUCH THAT
+				COUNT(*) BETWEEN 5 AND 10 AND
+				SUM(petromag_r) %s %g WITH PROBABILITY >= 0.9
+				MINIMIZE EXPECTED SUM(petromag_r)`, table, op, row.v),
+		})
+	}
+	return in
+}

@@ -1,0 +1,312 @@
+// Package spq is a stochastic package query engine for probabilistic
+// databases — a from-scratch Go implementation of "Stochastic Package
+// Queries in Probabilistic Databases" (Brucato, Yadav, Abouzied, Haas,
+// Meliou; SIGMOD 2020).
+//
+// A package query selects a bag of tuples (with multiplicities) from a
+// relation that jointly satisfies package-level constraints while optimizing
+// an objective. This engine extends package queries to *probabilistic* data
+// in the Monte Carlo model: uncertain attribute values are random variables
+// realized by VG (variable generation) functions, and queries may contain
+// expectation constraints, probabilistic ("chance") constraints, and
+// expected-value or probability objectives, written in the sPaQL dialect:
+//
+//	SELECT PACKAGE(*) FROM Stock_Investments
+//	SUCH THAT
+//	    SUM(price) <= 1000 AND
+//	    SUM(gain) >= -10 WITH PROBABILITY >= 0.95
+//	MAXIMIZE EXPECTED SUM(gain)
+//
+// Two evaluation strategies are provided: Naive, the stochastic-programming
+// baseline that approximates the stochastic ILP with a scenario-expanded
+// deterministic ILP (sample average approximation), and SummarySearch — the
+// paper's contribution — which replaces scenario sets with small
+// conservative summaries and is typically orders of magnitude faster at
+// reaching validation-feasible, near-optimal packages.
+//
+// Quick start:
+//
+//	db := spq.NewDB()
+//	rel := spq.NewRelation("trades", n)
+//	rel.AddDet("price", prices)
+//	rel.AddStoch("gain", &spq.IndependentVG{AttrID: 1, Dists: gains})
+//	db.Register(rel)
+//	result, err := db.Query(querySQL, nil)
+//
+// The heavy lifting lives in internal packages (solver, translation,
+// algorithms); this package re-exports the types a client needs.
+package spq
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"spq/internal/core"
+	"spq/internal/dist"
+	"spq/internal/relation"
+	"spq/internal/rng"
+	"spq/internal/sketch"
+	"spq/internal/spaql"
+	"spq/internal/translate"
+)
+
+// Re-exported data-model types. A Relation is an in-memory Monte Carlo
+// relation: deterministic columns plus stochastic attributes backed by VG
+// functions.
+type (
+	// Relation is a Monte Carlo relation (see internal/relation).
+	Relation = relation.Relation
+	// VGFunc generates realizations of a stochastic attribute.
+	VGFunc = relation.VGFunc
+	// IndependentVG realizes each tuple independently from a distribution.
+	IndependentVG = relation.IndependentVG
+	// GroupedVG realizes correlated tuple groups from a shared experiment.
+	GroupedVG = relation.GroupedVG
+
+	// Dist is a samplable distribution for VG functions.
+	Dist = dist.Dist
+	// Stream is a deterministic random substream.
+	Stream = rng.Stream
+	// Source derives substreams for scenario coordinates.
+	Source = rng.Source
+
+	// Options tune query evaluation (scenario counts, limits, seeds).
+	Options = core.Options
+	// Solution is the raw algorithm output.
+	Solution = core.Solution
+	// Query is a parsed sPaQL statement.
+	Query = spaql.Query
+)
+
+// Distribution constructors re-exported for building VG functions.
+type (
+	// Normal is the Gaussian distribution.
+	Normal = dist.Normal
+	// Uniform is the continuous uniform distribution.
+	Uniform = dist.Uniform
+	// Exponential is the (shifted) exponential distribution.
+	Exponential = dist.Exponential
+	// Pareto is the Pareto type-I distribution.
+	Pareto = dist.Pareto
+	// Poisson is the (shifted) Poisson distribution.
+	Poisson = dist.Poisson
+	// StudentT is Student's t distribution.
+	StudentT = dist.StudentT
+	// GBM is a geometric Brownian motion price process.
+	GBM = dist.GBM
+	// Degenerate is a point mass.
+	Degenerate = dist.Degenerate
+	// Mixture is a finite mixture distribution.
+	Mixture = dist.Mixture
+	// Shifted offsets another distribution by a constant.
+	Shifted = dist.Shifted
+)
+
+// NewRelation creates an empty Monte Carlo relation with n tuples.
+func NewRelation(name string, n int) *Relation { return relation.New(name, n) }
+
+// ReadCSV loads a relation's deterministic columns from CSV (header row of
+// column names, numeric values).
+func ReadCSV(name string, r io.Reader) (*Relation, error) { return relation.ReadCSV(name, r) }
+
+// NewSource creates a root randomness source for scenario generation.
+func NewSource(seed uint64) Source { return rng.NewSource(seed) }
+
+// UniformMixture builds an equal-weight mixture (the data-integration model
+// for D equally trusted sources).
+func UniformMixture(components ...Dist) Mixture { return dist.UniformMixture(components...) }
+
+// ParseQuery parses sPaQL text into a Query AST without executing it.
+func ParseQuery(text string) (*Query, error) { return spaql.Parse(text) }
+
+// ErrInfeasible reports a query whose deterministic constraints are already
+// unsatisfiable.
+var ErrInfeasible = core.ErrInfeasible
+
+// DB is a registry of Monte Carlo relations that evaluates sPaQL queries
+// against them. It plays the role of the DBMS layer in the paper's
+// architecture (storage, mean precomputation, query entry point).
+type DB struct {
+	tables map[string]*Relation
+	// MeansM is the scenario count used to estimate attribute means that
+	// have no closed form, at Register time (default 2000).
+	MeansM int
+	// MeansSeed seeds the mean-estimation stream.
+	MeansSeed uint64
+}
+
+// NewDB creates an empty database.
+func NewDB() *DB {
+	return &DB{tables: map[string]*Relation{}, MeansM: 2000, MeansSeed: 0xea7}
+}
+
+// Register adds a relation under its own name and precomputes means for its
+// stochastic attributes (the paper's §3.2 precomputation phase).
+func (db *DB) Register(rel *Relation) error {
+	name := strings.ToLower(rel.Name())
+	if _, dup := db.tables[name]; dup {
+		return fmt.Errorf("spq: table %q already registered", rel.Name())
+	}
+	rel.ComputeMeans(rng.NewSource(db.MeansSeed).Derive(uint64(len(db.tables))), db.MeansM)
+	db.tables[name] = rel
+	return nil
+}
+
+// Table returns a registered relation (case-insensitive).
+func (db *DB) Table(name string) (*Relation, bool) {
+	rel, ok := db.tables[strings.ToLower(name)]
+	return rel, ok
+}
+
+// Result is the outcome of a query evaluation, tying the algorithm solution
+// back to the relation so packages can be rendered.
+type Result struct {
+	*Solution
+	// Query is the parsed statement.
+	Query *Query
+	// Rel is the relation the multiplicities index (after WHERE filtering).
+	Rel *Relation
+}
+
+// Multiplicities returns the package as a map from base-relation tuple index
+// to copy count.
+func (r *Result) Multiplicities() map[int]int {
+	out := map[int]int{}
+	for i, x := range r.X {
+		if x > 0 {
+			out[r.Rel.OrigIndex(i)] += int(x + 0.5)
+		}
+	}
+	return out
+}
+
+// String renders a summary of the result.
+func (r *Result) String() string {
+	var sb strings.Builder
+	status := "INFEASIBLE"
+	if r.Feasible {
+		status = "feasible"
+	}
+	fmt.Fprintf(&sb, "package: %s, %d distinct tuples, size %.0f, objective %.6g (M=%d",
+		status, len(r.Multiplicities()), r.PackageSize(), r.Objective, r.M)
+	if r.Z > 0 {
+		fmt.Fprintf(&sb, ", Z=%d", r.Z)
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// prepare parses, validates, and lowers a query against the registry.
+func (db *DB) prepare(text string) (*Query, *translate.SILP, error) {
+	q, err := spaql.Parse(text)
+	if err != nil {
+		return nil, nil, err
+	}
+	rel, ok := db.Table(q.Table)
+	if !ok {
+		return nil, nil, fmt.Errorf("spq: unknown table %q", q.Table)
+	}
+	silp, err := translate.Build(q, rel, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return q, silp, nil
+}
+
+// Query evaluates an sPaQL query with SummarySearch (the paper's algorithm
+// and this engine's default).
+func (db *DB) Query(text string, opts *Options) (*Result, error) {
+	q, silp, err := db.prepare(text)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := core.SummarySearch(silp, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Solution: sol, Query: q, Rel: silp.Rel}, nil
+}
+
+// SketchOptions tune the sketch-refine scale-up layer.
+type SketchOptions = sketch.Options
+
+// SketchStats report what the sketch layer did (groups, candidates, times).
+type SketchStats = sketch.Stats
+
+// QuerySketch evaluates an sPaQL query with the SketchRefine-style
+// divide-and-conquer layer around SummarySearch: cluster tuples into groups,
+// solve the query over group representatives (the sketch), then re-solve
+// over the tuples of the selected groups (the refine). Intended for
+// relations too large for direct evaluation; see internal/sketch.
+func (db *DB) QuerySketch(text string, opts *Options, sopts *SketchOptions) (*Result, *SketchStats, error) {
+	q, silp, err := db.prepare(text)
+	if err != nil {
+		return nil, nil, err
+	}
+	sol, stats, err := sketch.Solve(q, silp.Rel, opts, sopts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Result{Solution: sol, Query: q, Rel: silp.Rel}, stats, nil
+}
+
+// QueryNaive evaluates an sPaQL query with the Naïve SAA baseline
+// (Algorithm 1), provided for comparison and experiments.
+func (db *DB) QueryNaive(text string, opts *Options) (*Result, error) {
+	q, silp, err := db.prepare(text)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := core.Naive(silp, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Solution: sol, Query: q, Rel: silp.Rel}, nil
+}
+
+// Explain returns the canonicalized SILP description of a query without
+// solving it: constraint counts, derived bounds, and the DILP size the SAA
+// formulation would have at the given scenario count.
+func (db *DB) Explain(text string, m int) (string, error) {
+	q, silp, err := db.prepare(text)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "query: %s\n", q.String())
+	fmt.Fprintf(&sb, "tuples after WHERE: %d\n", silp.N)
+	fmt.Fprintf(&sb, "deterministic/expectation constraints: %d\n", len(silp.DetCons))
+	fmt.Fprintf(&sb, "probabilistic constraints: %d\n", len(silp.ProbCons))
+	for _, pc := range silp.ProbCons {
+		op := "<="
+		if pc.Geq {
+			op = ">="
+		}
+		fmt.Fprintf(&sb, "  %s: Pr(SUM(%s) %s %g) >= %g  [summary direction: %s]\n",
+			pc.Name, pc.Expr.String(), op, pc.V, pc.P, pc.Direction())
+	}
+	switch silp.ObjKind {
+	case translate.ObjLinear:
+		sense := "minimize"
+		if silp.Maximize {
+			sense = "maximize"
+		}
+		fmt.Fprintf(&sb, "objective: %s expected linear sum\n", sense)
+	case translate.ObjProbability:
+		op := "<="
+		if silp.ObjGeq {
+			op = ">="
+		}
+		fmt.Fprintf(&sb, "objective: maximize Pr(SUM(%s) %s %g)\n", silp.ObjExpr.String(), op, silp.ObjV)
+	default:
+		sb.WriteString("objective: none (feasibility)\n")
+	}
+	if m > 0 && len(silp.ProbCons) > 0 {
+		// Θ(NMK) coefficient estimate for the SAA DILP.
+		k := len(silp.ProbCons)
+		fmt.Fprintf(&sb, "SAA DILP size at M=%d: ~%d coefficients (Θ(NMK))\n", m, silp.N*m*k)
+		fmt.Fprintf(&sb, "CSA DILP size at Z=1: ~%d coefficients (Θ(NZK))\n", silp.N*k)
+	}
+	return sb.String(), nil
+}
