@@ -11,6 +11,7 @@ package spq
 // scenario count at feasibility via b.ReportMetric.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -270,6 +271,31 @@ func benchmarkSummarize(b *testing.B, strat scenario.Strategy) {
 func BenchmarkSummarizeTupleWise(b *testing.B)    { benchmarkSummarize(b, scenario.TupleWise) }
 func BenchmarkSummarizeScenarioWise(b *testing.B) { benchmarkSummarize(b, scenario.ScenarioWise) }
 
+// Parallel variants of the same ablation: both generation orders sharded
+// across all CPUs (bit-identical summaries; see scenario.StreamingSummaryP).
+func benchmarkSummarizeParallel(b *testing.B, strat scenario.Strategy) {
+	in := workload.Galaxy(benchConfig())
+	rel := in.Table("galaxy_Q1")
+	src := rng.NewSource(3)
+	chosen := make([]int, 40)
+	for i := range chosen {
+		chosen[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.StreamingSummaryP(context.Background(), src, rel, "petromag_r", chosen, scenario.Min, nil, strat, -1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSummarizeTupleWiseParallel(b *testing.B) {
+	benchmarkSummarizeParallel(b, scenario.TupleWise)
+}
+func BenchmarkSummarizeScenarioWiseParallel(b *testing.B) {
+	benchmarkSummarizeParallel(b, scenario.ScenarioWise)
+}
+
 // --- Ablation: convergence acceleration (§5.5) ---
 
 func benchmarkAcceleration(b *testing.B, disable bool) {
@@ -312,6 +338,71 @@ func BenchmarkValidation(b *testing.B) {
 		}
 	}
 }
+
+// --- Parallel engine: sequential vs sharded validation (internal/engine) ---
+
+// benchmarkValidateParallel measures the out-of-sample validator alone at
+// M̂ = 10000 with the given worker count. The packages validated are
+// identical across worker counts (parallel validation is bit-identical), so
+// the benchmarks are directly comparable; see DESIGN.md for recorded
+// numbers (≥ 2× at 4 workers on a 4-core machine).
+func benchmarkValidateParallel(b *testing.B, workers int) {
+	silp := buildSILP(b, workload.Portfolio(benchConfig()), "Q1")
+	// A fixed, moderately dense package: every 3rd tuple with 1–3 copies.
+	x := make([]float64, silp.N)
+	for i := 0; i < silp.N; i += 3 {
+		x[i] = float64(1 + i%3)
+	}
+	opts := &core.Options{ValidationM: 10000, Parallelism: workers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Validate(context.Background(), silp, x, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(10000*b.N)/b.Elapsed().Seconds(), "scenarios/s")
+}
+
+func BenchmarkValidateM10000Workers1(b *testing.B) { benchmarkValidateParallel(b, 1) }
+func BenchmarkValidateM10000Workers2(b *testing.B) { benchmarkValidateParallel(b, 2) }
+func BenchmarkValidateM10000Workers4(b *testing.B) { benchmarkValidateParallel(b, 4) }
+func BenchmarkValidateM10000WorkersAll(b *testing.B) {
+	benchmarkValidateParallel(b, -1)
+}
+
+// --- Parallel engine: scenario-set generation (translate.GenerateSetsP) ---
+
+func benchmarkGenerateSets(b *testing.B, workers int) {
+	silp := buildSILP(b, workload.Portfolio(benchConfig()), "Q1")
+	src := rng.NewSource(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := silp.GenerateSetsP(context.Background(), src, 0, 200, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateSetsWorkers1(b *testing.B)   { benchmarkGenerateSets(b, 1) }
+func BenchmarkGenerateSetsWorkersAll(b *testing.B) { benchmarkGenerateSets(b, -1) }
+
+// --- Parallel engine: end-to-end SummarySearch with worker pool ---
+
+func benchmarkSummarySearchParallel(b *testing.B, workers int) {
+	silp := buildSILP(b, workload.Portfolio(benchConfig()), "Q1")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := benchOptions(uint64(i)+1, 1)
+		opts.ValidationM = 10000
+		opts.Parallelism = workers
+		if _, err := core.SummarySearch(silp, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSummarySearchSequential(b *testing.B) { benchmarkSummarySearchParallel(b, 1) }
+func BenchmarkSummarySearchParallel(b *testing.B)   { benchmarkSummarySearchParallel(b, -1) }
 
 // --- End-to-end experiment kernels (used by EXPERIMENTS.md) ---
 

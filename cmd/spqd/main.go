@@ -1,0 +1,168 @@
+// Command spqd is the long-running sPaQL query daemon: it loads one or more
+// of the built-in paper workloads (or a CSV table) into an in-memory
+// database and serves the concurrent execution engine's HTTP/JSON API.
+//
+//	spqd -addr :8723 -workload portfolio,galaxy -n 300
+//	curl -s localhost:8723/healthz
+//	curl -s localhost:8723/stats
+//	curl -s -X POST localhost:8723/query -d '{
+//	  "query": "SELECT PACKAGE(*) FROM trades_2day_all SUCH THAT SUM(price) <= 1000 AND SUM(gain) >= -10 WITH PROBABILITY >= 0.9 MAXIMIZE EXPECTED SUM(gain)",
+//	  "validation_m": 2000, "max_m": 60, "fixed_z": 1
+//	}'
+//
+// Admission control (-max-inflight, -max-queue) bounds concurrent solves;
+// excess load is rejected with HTTP 429. Every query is bounded by -timeout
+// unless its request carries a tighter timeout_ms.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"spq"
+	"spq/internal/engine"
+	"spq/internal/workload"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8723", "listen address")
+		workloads   = flag.String("workload", "portfolio", "comma-separated built-in workloads to load: galaxy | portfolio | tpch")
+		csvPath     = flag.String("csv", "", "CSV file to load as an additional (deterministic) table")
+		n           = flag.Int("n", 300, "workload size (tuples; stocks for portfolio)")
+		seed        = flag.Uint64("seed", 42, "workload data seed")
+		meansM      = flag.Int("means", 2000, "scenarios for attribute-mean precomputation")
+		maxInFlight = flag.Int("max-inflight", 0, "max concurrent solves (0 = one per CPU)")
+		maxQueue    = flag.Int("max-queue", 0, "max queries waiting for a solve slot (0 = 4x max-inflight)")
+		cacheSize   = flag.Int("cache", 128, "plan cache capacity in entries (negative disables)")
+		timeout     = flag.Duration("timeout", 60*time.Second, "default per-query timeout")
+		parallelism = flag.Int("parallelism", 0, "per-query worker count (0 = one per CPU)")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *workloads, *csvPath, *n, *seed, *meansM,
+		*maxInFlight, *maxQueue, *cacheSize, *timeout, *parallelism); err != nil {
+		fmt.Fprintln(os.Stderr, "spqd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, workloads, csvPath string, n int, seed uint64, meansM,
+	maxInFlight, maxQueue, cacheSize int, timeout time.Duration, parallelism int) error {
+
+	db := spq.NewDB()
+	db.MeansM = meansM
+
+	var tables []string
+	for _, wname := range strings.Split(workloads, ",") {
+		wname = strings.TrimSpace(wname)
+		if wname == "" {
+			continue
+		}
+		cfg := workload.Config{N: n, Seed: seed, MeansM: meansM}
+		var inst *workload.Instance
+		switch wname {
+		case "galaxy":
+			inst = workload.Galaxy(cfg)
+		case "portfolio":
+			inst = workload.Portfolio(cfg)
+		case "tpch":
+			inst = workload.TPCH(cfg)
+		default:
+			return fmt.Errorf("unknown workload %q (want galaxy, portfolio, or tpch)", wname)
+		}
+		for name, rel := range inst.Tables {
+			if err := db.Register(rel); err != nil {
+				return err
+			}
+			tables = append(tables, fmt.Sprintf("%s (%d tuples, %s)", name, rel.N(), wname))
+		}
+	}
+	if csvPath != "" {
+		f, err := os.Open(csvPath)
+		if err != nil {
+			return err
+		}
+		name := strings.TrimSuffix(filepath.Base(csvPath), filepath.Ext(csvPath))
+		rel, err := spq.ReadCSV(name, f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if err := db.Register(rel); err != nil {
+			return err
+		}
+		tables = append(tables, fmt.Sprintf("%s (%d tuples, csv)", name, rel.N()))
+	}
+	if len(tables) == 0 {
+		return errors.New("no tables loaded; pass -workload and/or -csv")
+	}
+	sort.Strings(tables)
+
+	eng := spq.NewEngine(db, &engine.Options{
+		MaxInFlight:    maxInFlight,
+		MaxQueue:       maxQueue,
+		PlanCacheSize:  cacheSize,
+		DefaultTimeout: timeout,
+		Parallelism:    parallelism,
+	})
+
+	srv := &http.Server{
+		Addr:    addr,
+		Handler: logRequests(eng.Handler()),
+		// Bound connection-level reads so trickling clients cannot pin
+		// goroutines forever. WriteTimeout stays 0: responses legitimately
+		// take up to the per-query -timeout, which the engine enforces.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		log.Printf("spqd: listening on %s", addr)
+		for _, t := range tables {
+			log.Printf("spqd: table %s", t)
+		}
+		err := srv.ListenAndServe()
+		if errors.Is(err, http.ErrServerClosed) {
+			err = nil
+		}
+		done <- err
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		return err
+	case s := <-sig:
+		log.Printf("spqd: %v, draining", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		return <-done
+	}
+}
+
+// logRequests is a minimal access log.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("spqd: %s %s (%s)", r.Method, r.URL.Path, time.Since(start).Round(time.Millisecond))
+	})
+}

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -57,6 +58,13 @@ type Options struct {
 	SolverNodes int
 	// RelGap is the MILP relative optimality gap (default 1e-4).
 	RelGap float64
+	// Parallelism is the number of worker goroutines used for scenario
+	// generation, summarization, and out-of-sample validation. 0 or 1 run
+	// sequentially; a negative value uses one worker per available CPU.
+	// Results are bit-identical for every value: realizations are pure
+	// functions of their (attribute, tuple, scenario) coordinates, and the
+	// engine shards work along those coordinates.
+	Parallelism int
 }
 
 func (o *Options) withDefaults() Options {
@@ -154,6 +162,7 @@ func (s *Solution) PackageSize() float64 {
 type runner struct {
 	silp   *translate.SILP
 	opts   Options
+	ctx    context.Context
 	optSrc rng.Source
 	valSrc rng.Source
 
@@ -168,11 +177,15 @@ type runner struct {
 	sizeHi   float64
 }
 
-func newRunner(silp *translate.SILP, o *Options) *runner {
+func newRunner(ctx context.Context, silp *translate.SILP, o *Options) *runner {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts := o.withDefaults()
 	r := &runner{
 		silp:   silp,
 		opts:   opts,
+		ctx:    ctx,
 		optSrc: rng.NewSource(opts.Seed).Derive(1),
 		valSrc: rng.NewSource(opts.ValidationSeed).Derive(2),
 		start:  time.Now(),
@@ -181,11 +194,18 @@ func newRunner(silp *translate.SILP, o *Options) *runner {
 		r.deadline = r.start.Add(opts.TimeLimit)
 		r.hasDL = true
 	}
+	if dl, ok := ctx.Deadline(); ok && (!r.hasDL || dl.Before(r.deadline)) {
+		r.deadline = dl
+		r.hasDL = true
+	}
 	r.sizeLo, r.sizeHi = packageSizeBounds(silp)
 	return r
 }
 
 func (r *runner) timeUp() bool {
+	if r.ctx.Err() != nil {
+		return true
+	}
 	return r.hasDL && time.Now().After(r.deadline)
 }
 
@@ -206,5 +226,6 @@ func (r *runner) solverOptions(initial []float64) *milp.Options {
 		MaxNodes:  r.opts.SolverNodes,
 		RelGap:    r.opts.RelGap,
 		InitialX:  initial,
+		Cancel:    r.ctx.Done(),
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -230,7 +231,7 @@ func TestValidationSurplusMatchesKnownProbability(t *testing.T) {
 	}
 	opts := smallOptions(1)
 	opts.ValidationM = 20000
-	r := newRunner(silp, opts)
+	r := newRunner(context.Background(), silp, opts)
 	val, err := r.validate([]float64{1})
 	if err != nil {
 		t.Fatal(err)
@@ -246,7 +247,7 @@ func TestValidationSurplusMatchesKnownProbability(t *testing.T) {
 
 func TestValidationEmptyPackage(t *testing.T) {
 	silp := portfolioSILP(t, 5, easyQuery)
-	r := newRunner(silp, smallOptions(1))
+	r := newRunner(context.Background(), silp, smallOptions(1))
 	val, err := r.validate(make([]float64, 5))
 	if err != nil {
 		t.Fatal(err)
@@ -356,7 +357,7 @@ func TestPackageSizeBoundsDefault(t *testing.T) {
 
 func TestEpsUpperMaximization(t *testing.T) {
 	silp := portfolioSILP(t, 10, easyQuery)
-	r := newRunner(silp, smallOptions(1))
+	r := newRunner(context.Background(), silp, smallOptions(1))
 	// ω̄ from probing; any positive objective yields finite ε.
 	eps := r.epsUpper(5)
 	if math.IsInf(eps, 1) || eps < 0 {
@@ -372,7 +373,7 @@ func TestEpsUpperProbabilityObjectiveBounds(t *testing.T) {
 	q := `SELECT PACKAGE(*) FROM stocks SUCH THAT COUNT(*) <= 3
 		MAXIMIZE PROBABILITY OF SUM(gain) >= 0`
 	silp := portfolioSILP(t, 6, q)
-	r := newRunner(silp, smallOptions(1))
+	r := newRunner(context.Background(), silp, smallOptions(1))
 	lo, hi := r.omegaBounds()
 	if lo != 0 || hi != 1 {
 		t.Fatalf("probability objective bounds = [%v, %v], want [0, 1]", lo, hi)
@@ -402,7 +403,7 @@ func TestCounteractingConstraintTightensLowerBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := newRunner(silp, smallOptions(1))
+	r := newRunner(context.Background(), silp, smallOptions(1))
 	lo, _ := r.omegaBounds()
 	if lo < 0.9*6-1e-9 {
 		t.Fatalf("lower bound %v, want ≥ p·v = 5.4", lo)

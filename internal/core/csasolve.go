@@ -165,7 +165,11 @@ func (r *runner) csaSolve(sets []*scenario.Set, objSet *scenario.Set, x0 []float
 			dir = scenario.Min
 		}
 		for _, part := range parts {
-			objSummaries = append(objSummaries, objSet.Summarize(part, dir, nil))
+			sm, err := objSet.SummarizeP(r.ctx, part, dir, nil, r.opts.Parallelism)
+			if err != nil {
+				return nil, err
+			}
+			objSummaries = append(objSummaries, sm)
 		}
 	}
 
@@ -241,7 +245,11 @@ func (r *runner) csaSolve(sets []*scenario.Set, objSet *scenario.Set, x0 []float
 				if len(chosen) == 0 {
 					chosen = part[:1]
 				}
-				summaries[ck] = append(summaries[ck], sets[ck].Summarize(chosen, dir, accel))
+				sm, err := sets[ck].SummarizeP(r.ctx, chosen, dir, accel, r.opts.Parallelism)
+				if err != nil {
+					return nil, err
+				}
+				summaries[ck] = append(summaries[ck], sm)
 			}
 		}
 		model, vm, err := silp.FormulateCSA(summaries, objSummaries)
@@ -252,6 +260,9 @@ func (r *runner) csaSolve(sets []*scenario.Set, objSet *scenario.Set, x0 []float
 		res, err := milp.Solve(model, r.solverOptions(nil))
 		if err != nil {
 			return nil, fmt.Errorf("core: CSA solve (M=%d, Z=%d): %w", mCount, zCount, err)
+		}
+		if err := r.ctx.Err(); err != nil {
+			return nil, err
 		}
 		(*iters)[len(*iters)-1].SolverStatus = res.Status
 		(*iters)[len(*iters)-1].Coefficients = res.Coefficients

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -96,7 +97,7 @@ func TestConfidenceIntervalsPopulated(t *testing.T) {
 	silp := multiSILP(t, twoConQuery)
 	opts := smallOptions(1)
 	opts.ValidationM = 4000
-	r := newRunner(silp, opts)
+	r := newRunner(context.Background(), silp, opts)
 	x := make([]float64, silp.N)
 	x[0] = 1
 	val, err := r.validate(x)
@@ -114,7 +115,7 @@ func TestConfidenceIntervalsPopulated(t *testing.T) {
 	// The half-width shrinks as M̂ grows (∝ 1/√M̂).
 	opts2 := smallOptions(1)
 	opts2.ValidationM = 1000
-	r2 := newRunner(silp, opts2)
+	r2 := newRunner(context.Background(), silp, opts2)
 	val2, err := r2.validate(x)
 	if err != nil {
 		t.Fatal(err)
@@ -163,11 +164,11 @@ func TestValidationScenariosSharedAcrossRuns(t *testing.T) {
 	x[1], x[5] = 2, 1
 	o1 := smallOptions(1)
 	o2 := smallOptions(99)
-	v1, err := newRunner(silp, o1).validate(x)
+	v1, err := newRunner(context.Background(), silp, o1).validate(x)
 	if err != nil {
 		t.Fatal(err)
 	}
-	v2, err := newRunner(silp, o2).validate(x)
+	v2, err := newRunner(context.Background(), silp, o2).validate(x)
 	if err != nil {
 		t.Fatal(err)
 	}

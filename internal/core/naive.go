@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -15,16 +16,25 @@ import (
 // is reached. The returned Solution reports the best package found (possibly
 // infeasible) along with the full iteration history.
 func Naive(silp *translate.SILP, o *Options) (*Solution, error) {
-	r := newRunner(silp, o)
+	return NaiveCtx(context.Background(), silp, o)
+}
+
+// NaiveCtx is Naive under a context; cancellation aborts the evaluation
+// promptly and returns ctx's error (see SummarySearchCtx).
+func NaiveCtx(ctx context.Context, silp *translate.SILP, o *Options) (*Solution, error) {
+	r := newRunner(ctx, silp, o)
 	sol := &Solution{EpsUpper: infEps()}
 
 	m := r.opts.InitialM
-	sets, objSet, err := silp.GenerateSets(r.optSrc, 0, m)
+	sets, objSet, err := silp.GenerateSetsP(r.ctx, r.optSrc, 0, m, r.opts.Parallelism)
 	if err != nil {
 		return nil, err
 	}
 	var best *Solution
 	for {
+		if err := r.ctx.Err(); err != nil {
+			return nil, err
+		}
 		model, vm, err := silp.FormulateSAA(sets, objSet)
 		if err != nil {
 			return nil, err
@@ -33,6 +43,9 @@ func Naive(silp *translate.SILP, o *Options) (*Solution, error) {
 		res, err := milp.Solve(model, r.solverOptions(nil))
 		if err != nil {
 			return nil, fmt.Errorf("core: naive solve with M=%d: %w", m, err)
+		}
+		if err := r.ctx.Err(); err != nil {
+			return nil, err
 		}
 		iter := Iteration{
 			M:            m,
@@ -70,10 +83,13 @@ func Naive(silp *translate.SILP, o *Options) (*Solution, error) {
 		if m+grow > r.opts.MaxM {
 			grow = r.opts.MaxM - m
 		}
-		if err := silp.ExtendSets(r.optSrc, sets, objSet, grow); err != nil {
+		if err := silp.ExtendSetsP(r.ctx, r.optSrc, sets, objSet, grow, r.opts.Parallelism); err != nil {
 			return nil, err
 		}
 		m += grow
+	}
+	if err := r.ctx.Err(); err != nil {
+		return nil, err
 	}
 	// Failure: report the best (infeasible) attempt, or an empty solution.
 	if best == nil {

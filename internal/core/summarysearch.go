@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -45,6 +46,9 @@ func (r *runner) solveUnconstrained() ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := r.ctx.Err(); err != nil {
+		return nil, err
+	}
 	if res.X == nil {
 		if res.Status == milp.StatusInfeasible {
 			return nil, ErrInfeasible
@@ -66,7 +70,16 @@ func (r *runner) solveUnconstrained() ([]float64, error) {
 // CSA-Solve with increasing numbers of summaries (Z) and, when CSA-Solve
 // cannot reach feasibility, increasing numbers of scenarios (M).
 func SummarySearch(silp *translate.SILP, o *Options) (*Solution, error) {
-	r := newRunner(silp, o)
+	return SummarySearchCtx(context.Background(), silp, o)
+}
+
+// SummarySearchCtx is SummarySearch under a context: cancellation aborts the
+// evaluation promptly (scenario generation, validation, and the MILP search
+// all observe ctx) and returns ctx's error. A context deadline acts like
+// Options.TimeLimit except that expiry is an error rather than a best-effort
+// result, which is the behaviour a query server wants.
+func SummarySearchCtx(ctx context.Context, silp *translate.SILP, o *Options) (*Solution, error) {
+	r := newRunner(ctx, silp, o)
 	x0, err := r.solveUnconstrained()
 	if err != nil {
 		return nil, err
@@ -91,13 +104,16 @@ func SummarySearch(silp *translate.SILP, o *Options) (*Solution, error) {
 	if r.opts.FixedZ > 0 {
 		z = r.opts.FixedZ
 	}
-	sets, objSet, err := silp.GenerateSets(r.optSrc, 0, m)
+	sets, objSet, err := silp.GenerateSetsP(r.ctx, r.optSrc, 0, m, r.opts.Parallelism)
 	if err != nil {
 		return nil, err
 	}
 
 	var best *Solution
 	for {
+		if err := r.ctx.Err(); err != nil {
+			return nil, err
+		}
 		if z > m {
 			z = m
 		}
@@ -132,10 +148,13 @@ func SummarySearch(silp *translate.SILP, o *Options) (*Solution, error) {
 		if m+grow > r.opts.MaxM {
 			grow = r.opts.MaxM - m
 		}
-		if err := silp.ExtendSets(r.optSrc, sets, objSet, grow); err != nil {
+		if err := silp.ExtendSetsP(r.ctx, r.optSrc, sets, objSet, grow, r.opts.Parallelism); err != nil {
 			return nil, err
 		}
 		m += grow
+	}
+	if err := r.ctx.Err(); err != nil {
+		return nil, err
 	}
 	if best == nil {
 		best = &Solution{Z: z, EpsUpper: infEps()}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"math"
 
+	"spq/internal/par"
 	"spq/internal/spaql"
 	"spq/internal/translate"
 )
@@ -33,11 +35,27 @@ func (v *Validation) ConfidentlyFeasible() bool {
 	return true
 }
 
+// Validate checks a package x against the out-of-sample validation protocol
+// of §3.2 under the given options, standing alone from any optimize loop. It
+// is the entry point the concurrent engine and the benchmarks use; the
+// algorithms' internal validation goes through the same code path, so
+// parallel and sequential runs are bit-identical.
+func Validate(ctx context.Context, silp *translate.SILP, x []float64, o *Options) (*Validation, error) {
+	return newRunner(ctx, silp, o).validate(x)
+}
+
 // validate checks solution x against M̂ out-of-sample scenarios from the
 // validation source. Expectation constraints are feasible by construction
 // (the DILP uses the precomputed means, §3.2), so only probabilistic
 // constraints are streamed. Only tuples with x_i > 0 are realized, and only
 // a running per-scenario score is kept, so memory is Θ(M̂) regardless of N.
+//
+// The M̂ scenarios are sharded into contiguous ranges across
+// Options.Parallelism workers. Every realization is a pure function of its
+// (attribute, tuple, scenario) coordinate and each shard accumulates its
+// scenarios' scores in the same tuple-major order as the sequential path, so
+// the per-scenario scores — and hence the satisfied counts, surpluses, and
+// objective — are bit-identical for any worker count.
 func (r *runner) validate(x []float64) (*Validation, error) {
 	mhat := r.opts.ValidationM
 	silp := r.silp
@@ -50,33 +68,51 @@ func (r *runner) validate(x []float64) (*Validation, error) {
 		}
 	}
 
+	workers := par.Workers(r.opts.Parallelism, mhat)
 	scores := make([]float64, mhat)
 	countSatisfied := func(expr spaql.LinExpr, mask []bool, geq bool, v float64) (int, error) {
-		for j := range scores {
-			scores[j] = 0
-		}
-		// Tuple-major streaming: realize each package tuple across all
-		// validation scenarios (cheap: |pkg| ≪ N, §3.2). Tuples excluded by
-		// a general-form aggregate filter contribute nothing.
-		for _, i := range pkg {
-			if mask != nil && !mask[i] {
-				continue
+		counts := make([]int, workers)
+		err := par.Ranges(r.ctx, mhat, workers, func(shard, lo, hi int) error {
+			sc := scores[lo:hi]
+			for j := range sc {
+				sc[j] = 0
 			}
-			for j := 0; j < mhat; j++ {
-				w, err := translate.ExprValue(r.valSrc, silp.Rel, expr, i, j)
-				if err != nil {
-					return 0, err
+			// Tuple-major streaming within the shard: realize each package
+			// tuple across the shard's validation scenarios (cheap:
+			// |pkg| ≪ N, §3.2). Tuples excluded by a general-form aggregate
+			// filter contribute nothing.
+			for _, i := range pkg {
+				if mask != nil && !mask[i] {
+					continue
 				}
-				scores[j] += w * x[i]
+				if err := r.ctx.Err(); err != nil {
+					return err
+				}
+				for j := lo; j < hi; j++ {
+					w, err := translate.ExprValue(r.valSrc, silp.Rel, expr, i, j)
+					if err != nil {
+						return err
+					}
+					sc[j-lo] += w * x[i]
+				}
 			}
-		}
-		count := 0
-		for j := 0; j < mhat; j++ {
-			if (geq && scores[j] >= v) || (!geq && scores[j] <= v) {
-				count++
+			count := 0
+			for _, s := range sc {
+				if (geq && s >= v) || (!geq && s <= v) {
+					count++
+				}
 			}
+			counts[shard] = count
+			return nil
+		})
+		if err != nil {
+			return 0, err
 		}
-		return count, nil
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		return total, nil
 	}
 
 	for _, pc := range silp.ProbCons {

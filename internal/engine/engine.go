@@ -1,0 +1,382 @@
+// Package engine is the concurrent query-execution layer of the system: it
+// turns the one-shot algorithms of internal/core into a long-lived service.
+// It adds three things the single-query path does not have:
+//
+//   - a bounded-concurrency session layer: at most MaxInFlight queries solve
+//     at once, a bounded number more may wait for a slot, and everything
+//     beyond that is rejected immediately with ErrOverloaded (admission
+//     control for a daemon under heavy traffic);
+//   - an LRU plan cache of parsed + translated queries (sPaQL AST and
+//     translate.SILP), keyed by the canonical rendering of the parsed
+//     statement and invalidated by the registered relation's version
+//     counter, so repeated queries skip WHERE filtering, mask evaluation,
+//     and bound derivation;
+//   - per-query timeouts and cancellation via context.Context, carried all
+//     the way into scenario generation, validation, and the MILP search.
+//
+// Query evaluation itself runs with core.Options.Parallelism workers, so one
+// query exploits all cores when the server is idle while concurrent queries
+// share them under load. Parallel execution is bit-identical to sequential
+// (see internal/core), so the cache and the worker pool never change
+// answers.
+package engine
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spq/internal/core"
+	"spq/internal/relation"
+	"spq/internal/spaql"
+	"spq/internal/translate"
+)
+
+// Catalog resolves table names to registered relations. *spq.DB implements
+// it.
+type Catalog interface {
+	Table(name string) (*relation.Relation, bool)
+}
+
+// ErrOverloaded is returned (and mapped to HTTP 429) when the engine's
+// admission queue is full.
+var ErrOverloaded = errors.New("engine: overloaded, admission queue full")
+
+// ErrBadQuery wraps client-side failures — parse errors, unknown tables or
+// methods, untranslatable or deterministically infeasible queries — so the
+// HTTP layer can map them to 400 while internal evaluation failures map
+// to 500.
+var ErrBadQuery = errors.New("engine: bad query")
+
+// Options tune the engine.
+type Options struct {
+	// MaxInFlight is the number of queries that may solve concurrently
+	// (default: one per available CPU).
+	MaxInFlight int
+	// MaxQueue is the number of additional queries that may wait for a
+	// solve slot before new arrivals are rejected with ErrOverloaded
+	// (default 4×MaxInFlight; negative allows no waiting at all).
+	MaxQueue int
+	// PlanCacheSize is the LRU capacity of the plan cache in entries
+	// (default 128; 0 uses the default, negative disables caching).
+	PlanCacheSize int
+	// DefaultTimeout bounds each query's evaluation when the request
+	// carries no tighter deadline (default 60s).
+	DefaultTimeout time.Duration
+	// Parallelism is the per-query worker count handed to core.Options
+	// when the request does not set one (default: one per available CPU).
+	Parallelism int
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{}
+	if o != nil {
+		out = *o
+	}
+	if out.MaxInFlight <= 0 {
+		out.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if out.MaxQueue == 0 {
+		out.MaxQueue = 4 * out.MaxInFlight
+	} else if out.MaxQueue < 0 {
+		out.MaxQueue = 0
+	}
+	if out.PlanCacheSize == 0 {
+		out.PlanCacheSize = 128
+	}
+	if out.DefaultTimeout == 0 {
+		out.DefaultTimeout = 60 * time.Second
+	}
+	if out.Parallelism == 0 {
+		out.Parallelism = -1 // core: one worker per CPU
+	}
+	return out
+}
+
+// Request describes one query evaluation.
+type Request struct {
+	// Query is the sPaQL text.
+	Query string
+	// Method selects the algorithm: "" or "summarysearch" (the default),
+	// or "naive" for the SAA baseline.
+	Method string
+	// Timeout overrides the engine's default per-query timeout when > 0.
+	Timeout time.Duration
+	// Options tune the evaluation; nil uses core defaults. Parallelism 0
+	// inherits the engine's default.
+	Options *core.Options
+}
+
+// Result is the outcome of an engine query.
+type Result struct {
+	*core.Solution
+	// Query is the parsed statement (from the plan cache on a hit).
+	Query *spaql.Query
+	// Rel is the WHERE-filtered relation the multiplicities index.
+	Rel *relation.Relation
+	// CacheHit reports whether the plan came from the cache.
+	CacheHit bool
+	// Wait is the time spent in the admission queue before solving.
+	Wait time.Duration
+}
+
+// Multiplicities returns the package as a map from base-relation tuple
+// index to copy count.
+func (r *Result) Multiplicities() map[int]int {
+	out := map[int]int{}
+	for i, x := range r.X {
+		if x > 0 {
+			out[r.Rel.OrigIndex(i)] += int(x + 0.5)
+		}
+	}
+	return out
+}
+
+// plan is one cached prepared query.
+type plan struct {
+	key        string
+	query      *spaql.Query
+	silp       *translate.SILP
+	table      *relation.Relation // registered base relation the plan was built against
+	relVersion uint64
+}
+
+// Stats is a point-in-time snapshot of the engine's counters.
+type Stats struct {
+	Queries     int64 `json:"queries"`
+	Failures    int64 `json:"failures"`
+	Rejected    int64 `json:"rejected"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// Active counts queries currently solving; Queued counts queries
+	// waiting for a solve slot (not those already solving).
+	Active       int64 `json:"active"`
+	Queued       int64 `json:"queued"`
+	SolveTimeMS  int64 `json:"solve_time_ms"`
+	MaxInFlight  int   `json:"max_in_flight"`
+	PlanCacheLen int   `json:"plan_cache_len"`
+}
+
+// Engine is a concurrent sPaQL query-execution engine over a catalog of
+// registered relations. It is safe for concurrent use.
+type Engine struct {
+	cat  Catalog
+	opts Options
+	sem  chan struct{}
+
+	queries     atomic.Int64
+	failures    atomic.Int64
+	rejected    atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	active      atomic.Int64
+	queued      atomic.Int64
+	solveNanos  atomic.Int64
+
+	mu    sync.Mutex
+	lru   *list.List // front = most recently used; values are *plan
+	plans map[string]*list.Element
+}
+
+// New creates an engine over the catalog.
+func New(cat Catalog, o *Options) *Engine {
+	opts := o.withDefaults()
+	return &Engine{
+		cat:   cat,
+		opts:  opts,
+		sem:   make(chan struct{}, opts.MaxInFlight),
+		lru:   list.New(),
+		plans: map[string]*list.Element{},
+	}
+}
+
+// prepare returns a cached plan for the query text, or parses, validates,
+// and lowers it and caches the result. The cache key is the canonical
+// rendering of the *parsed* query (spaql guarantees Parse(q.String())
+// round-trips), so reformatted, comment-bearing, or otherwise trivially
+// different texts share a plan exactly when they denote the same statement —
+// a purely textual key would conflate e.g. queries that differ only inside
+// a "--" line comment. Parsing is cheap; the cache exists to skip the
+// translation (WHERE filtering, mask evaluation, bound derivation). A
+// cached plan is dead as soon as the table name resolves to a different
+// relation or the relation's version counter moved (e.g. re-registered data
+// or recomputed means).
+func (e *Engine) prepare(text string) (*plan, bool, error) {
+	q, err := spaql.Parse(text)
+	if err != nil {
+		return nil, false, err
+	}
+	key := q.String()
+
+	if p := e.cacheGet(key); p != nil {
+		if rel, ok := e.cat.Table(p.query.Table); ok && rel == p.table && rel.Version() == p.relVersion {
+			e.cacheHits.Add(1)
+			return p, true, nil
+		}
+		e.cacheDrop(key)
+	}
+	e.cacheMisses.Add(1)
+
+	rel, ok := e.cat.Table(q.Table)
+	if !ok {
+		return nil, false, fmt.Errorf("engine: unknown table %q", q.Table)
+	}
+	version := rel.Version()
+	silp, err := translate.Build(q, rel, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	p := &plan{key: key, query: q, silp: silp, table: rel, relVersion: version}
+	e.cachePut(p)
+	return p, false, nil
+}
+
+func (e *Engine) cacheGet(key string) *plan {
+	if e.opts.PlanCacheSize < 0 {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	el, ok := e.plans[key]
+	if !ok {
+		return nil
+	}
+	e.lru.MoveToFront(el)
+	return el.Value.(*plan)
+}
+
+func (e *Engine) cachePut(p *plan) {
+	if e.opts.PlanCacheSize < 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if el, ok := e.plans[p.key]; ok {
+		el.Value = p
+		e.lru.MoveToFront(el)
+		return
+	}
+	e.plans[p.key] = e.lru.PushFront(p)
+	for e.lru.Len() > e.opts.PlanCacheSize {
+		oldest := e.lru.Back()
+		e.lru.Remove(oldest)
+		delete(e.plans, oldest.Value.(*plan).key)
+	}
+}
+
+func (e *Engine) cacheDrop(key string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if el, ok := e.plans[key]; ok {
+		e.lru.Remove(el)
+		delete(e.plans, key)
+	}
+}
+
+// Query evaluates one request under admission control: it waits for a solve
+// slot (rejecting immediately when MaxQueue other queries are already
+// waiting), bounds the evaluation by the request timeout, and runs the
+// selected algorithm with the engine's parallelism.
+func (e *Engine) Query(ctx context.Context, req Request) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.queries.Add(1)
+
+	// Admission control: the total commitment (solving + waiting) may not
+	// exceed MaxInFlight + MaxQueue.
+	if e.queued.Add(1) > int64(e.opts.MaxInFlight+e.opts.MaxQueue) {
+		e.queued.Add(-1)
+		e.rejected.Add(1)
+		return nil, ErrOverloaded
+	}
+	defer e.queued.Add(-1)
+
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = e.opts.DefaultTimeout
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	enqueued := time.Now()
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		e.failures.Add(1)
+		return nil, ctx.Err()
+	}
+	defer func() { <-e.sem }()
+	wait := time.Since(enqueued)
+
+	e.active.Add(1)
+	defer e.active.Add(-1)
+
+	p, hit, err := e.prepare(req.Query)
+	if err != nil {
+		e.failures.Add(1)
+		return nil, fmt.Errorf("%w: %w", ErrBadQuery, err)
+	}
+
+	var opts core.Options
+	if req.Options != nil {
+		opts = *req.Options
+	}
+	if opts.Parallelism == 0 {
+		opts.Parallelism = e.opts.Parallelism
+	}
+
+	solveStart := time.Now()
+	var sol *core.Solution
+	switch strings.ToLower(req.Method) {
+	case "", "summarysearch":
+		sol, err = core.SummarySearchCtx(ctx, p.silp, &opts)
+	case "naive":
+		sol, err = core.NaiveCtx(ctx, p.silp, &opts)
+	default:
+		e.failures.Add(1)
+		return nil, fmt.Errorf("%w: unknown method %q", ErrBadQuery, req.Method)
+	}
+	e.solveNanos.Add(int64(time.Since(solveStart)))
+	if err != nil {
+		e.failures.Add(1)
+		if errors.Is(err, core.ErrInfeasible) {
+			// The query's deterministic constraints are unsatisfiable:
+			// that is a property of the request, not a server fault.
+			return nil, fmt.Errorf("%w: %w", ErrBadQuery, err)
+		}
+		return nil, err
+	}
+	return &Result{Solution: sol, Query: p.query, Rel: p.silp.Rel, CacheHit: hit, Wait: wait}, nil
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	cacheLen := e.lru.Len()
+	e.mu.Unlock()
+	// The queued counter tracks the engine's total commitment (waiting +
+	// solving) for admission; report only the waiting backlog.
+	waiting := e.queued.Load() - e.active.Load()
+	if waiting < 0 {
+		waiting = 0
+	}
+	return Stats{
+		Queries:      e.queries.Load(),
+		Failures:     e.failures.Load(),
+		Rejected:     e.rejected.Load(),
+		CacheHits:    e.cacheHits.Load(),
+		CacheMisses:  e.cacheMisses.Load(),
+		Active:       e.active.Load(),
+		Queued:       waiting,
+		SolveTimeMS:  e.solveNanos.Load() / int64(time.Millisecond),
+		MaxInFlight:  e.opts.MaxInFlight,
+		PlanCacheLen: cacheLen,
+	}
+}

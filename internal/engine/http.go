@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"sort"
+	"time"
+
+	"spq/internal/core"
+)
+
+// QueryRequest is the JSON body of POST /query.
+type QueryRequest struct {
+	Query  string `json:"query"`
+	Method string `json:"method,omitempty"` // "summarysearch" (default) | "naive"
+	// TimeoutMS bounds the evaluation in milliseconds (0 = engine default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// Evaluation options; zero values use core defaults.
+	Seed        uint64 `json:"seed,omitempty"`
+	ValidationM int    `json:"validation_m,omitempty"`
+	InitialM    int    `json:"initial_m,omitempty"`
+	IncrementM  int    `json:"increment_m,omitempty"`
+	MaxM        int    `json:"max_m,omitempty"`
+	FixedZ      int    `json:"fixed_z,omitempty"`
+	Parallelism int    `json:"parallelism,omitempty"`
+}
+
+// PackageTuple is one package member in a QueryResponse.
+type PackageTuple struct {
+	Tuple int `json:"tuple"` // base-relation tuple index
+	Count int `json:"count"` // multiplicity
+}
+
+// QueryResponse is the JSON body answering POST /query.
+type QueryResponse struct {
+	Feasible    bool           `json:"feasible"`
+	Objective   float64        `json:"objective"`
+	EpsUpper    float64        `json:"eps_upper,omitempty"`
+	Surpluses   []float64      `json:"surpluses,omitempty"`
+	M           int            `json:"m"`
+	Z           int            `json:"z,omitempty"`
+	PackageSize float64        `json:"package_size"`
+	Package     []PackageTuple `json:"package"`
+	CacheHit    bool           `json:"cache_hit"`
+	WaitMS      int64          `json:"wait_ms"`
+	TotalMS     int64          `json:"total_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Handler returns the engine's HTTP API:
+//
+//	POST /query   — evaluate an sPaQL query (QueryRequest → QueryResponse)
+//	GET  /healthz — liveness probe
+//	GET  /stats   — engine counters (admission, cache, solve time)
+//
+// Admission rejections map to 429, deadline expiry and cancellation to 504,
+// malformed queries to 400.
+func (e *Engine) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", e.handleQuery)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, e.Stats())
+	})
+	return mux
+}
+
+// maxQueryBody bounds the /query request body: everything else the daemon
+// holds is capped (solve slots, queue, plan cache), so the body must be too.
+const maxQueryBody = 1 << 20
+
+func (e *Engine) handleQuery(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxQueryBody)
+	var qr QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&qr); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if qr.Query == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing \"query\""})
+		return
+	}
+	req := Request{
+		Query:   qr.Query,
+		Method:  qr.Method,
+		Timeout: time.Duration(qr.TimeoutMS) * time.Millisecond,
+		Options: &core.Options{
+			Seed:        qr.Seed,
+			ValidationM: qr.ValidationM,
+			InitialM:    qr.InitialM,
+			IncrementM:  qr.IncrementM,
+			MaxM:        qr.MaxM,
+			FixedZ:      qr.FixedZ,
+			Parallelism: qr.Parallelism,
+		},
+	}
+	start := time.Now()
+	res, err := e.Query(r.Context(), req)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrOverloaded):
+			writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: err.Error()})
+		case errors.Is(err, ErrBadQuery):
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		default:
+			// An evaluation failure on a well-formed query is a server
+			// fault: 500 tells clients and balancers it is retryable.
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		}
+		return
+	}
+
+	resp := QueryResponse{
+		Feasible:    res.Feasible,
+		Objective:   res.Objective,
+		Surpluses:   res.Surpluses,
+		M:           res.M,
+		Z:           res.Z,
+		PackageSize: res.PackageSize(),
+		Package:     []PackageTuple{},
+		CacheHit:    res.CacheHit,
+		WaitMS:      res.Wait.Milliseconds(),
+		TotalMS:     time.Since(start).Milliseconds(),
+	}
+	// eps_upper is +Inf when no bound exists; JSON has no Inf, so omit it.
+	if !math.IsInf(res.EpsUpper, 0) && !math.IsNaN(res.EpsUpper) {
+		resp.EpsUpper = res.EpsUpper
+	}
+	for tuple, count := range res.Multiplicities() {
+		resp.Package = append(resp.Package, PackageTuple{Tuple: tuple, Count: count})
+	}
+	sort.Slice(resp.Package, func(a, b int) bool { return resp.Package[a].Tuple < resp.Package[b].Tuple })
+	writeJSON(w, http.StatusOK, resp)
+}

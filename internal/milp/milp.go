@@ -245,6 +245,11 @@ type Options struct {
 	// InitialX optionally seeds the incumbent with a known integer-feasible
 	// point (e.g. the previous CSA-Solve solution); ignored if infeasible.
 	InitialX []float64
+	// Cancel, when non-nil, aborts the search as soon as the channel is
+	// closed (checked once per node, like the time limit). The best
+	// incumbent found so far is returned. It carries context cancellation
+	// into the solver without coupling this package to context.Context.
+	Cancel <-chan struct{}
 	// LP tunes the node LP solves.
 	LP lp.Options
 }
@@ -388,13 +393,21 @@ func Solve(m *Model, o *Options) (*Result, error) {
 	return res, nil
 }
 
-// limitHit reports whether a node or time limit has expired.
+// limitHit reports whether a node or time limit has expired or the solve
+// was cancelled.
 func (st *bbState) limitHit() bool {
 	if st.nodes >= st.opts.MaxNodes {
 		return true
 	}
 	if st.hasDL && time.Now().After(st.deadline) {
 		return true
+	}
+	if st.opts.Cancel != nil {
+		select {
+		case <-st.opts.Cancel:
+			return true
+		default:
+		}
 	}
 	return false
 }

@@ -1,0 +1,78 @@
+// Package par provides the small worker-pool primitive shared by the
+// concurrent execution engine: deterministic sharding of an index range
+// across a bounded number of goroutines. Callers shard work so that each
+// shard's results are a pure function of its index range (realizations in
+// this codebase are pure functions of their scenario/tuple coordinates), so
+// any worker count produces bit-identical results to the sequential path.
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Workers normalizes a parallelism request: 0 and 1 mean sequential,
+// negative means one worker per available CPU, and requests are capped at
+// the total shardable work n.
+func Workers(p, n int) int {
+	if p < 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p < 1 {
+		p = 1
+	}
+	if n >= 0 && p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// Ranges splits [0, n) into `workers` near-equal contiguous shards and runs
+// f(shard, lo, hi) for each, concurrently when workers > 1. It returns the
+// first error (by shard order) or the context's error if ctx was cancelled
+// before the work started. With workers <= 1 the call runs inline with no
+// goroutines, so sequential callers pay nothing.
+func Ranges(ctx context.Context, n, workers int, f func(shard, lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers, n)
+	if workers == 1 {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		return f(0, 0, n)
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(shard, lo, hi int) {
+			defer wg.Done()
+			errs[shard] = f(shard, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0, 100); got != 1 {
+		t.Fatalf("Workers(0) = %d, want 1", got)
+	}
+	if got := Workers(4, 2); got != 2 {
+		t.Fatalf("Workers(4, n=2) = %d, want 2 (capped at work)", got)
+	}
+	if got := Workers(-1, 1000); got < 1 {
+		t.Fatalf("Workers(-1) = %d, want >= 1", got)
+	}
+	if got := Workers(3, -1); got != 3 {
+		t.Fatalf("Workers(3, n=-1) = %d, want 3 (no cap)", got)
+	}
+}
+
+func TestRangesCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		n := 101 // prime, so shards are uneven
+		hits := make([]int32, n)
+		err := Ranges(context.Background(), n, workers, func(_, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestRangesPropagatesFirstError(t *testing.T) {
+	sentinel := errors.New("boom")
+	err := Ranges(context.Background(), 10, 4, func(shard, lo, hi int) error {
+		if shard >= 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}
+
+func TestRangesHonoursCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := Ranges(ctx, 10, 2, func(_, _, _ int) error { ran = true; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("work ran under a cancelled context")
+	}
+}
+
+func TestRangesEmpty(t *testing.T) {
+	if err := Ranges(context.Background(), 0, 8, func(_, _, _ int) error {
+		t.Fatal("called for empty range")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

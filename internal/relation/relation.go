@@ -125,7 +125,16 @@ type Relation struct {
 	// origIdx maps view tuples to base-relation tuples; nil for base
 	// relations (identity).
 	origIdx []int
+
+	// version counts schema and means mutations; the engine's plan cache
+	// keys on it so cached plans die when a registered relation changes.
+	version uint64
 }
+
+// Version returns a counter incremented by every mutation of the relation's
+// schema or cached means. Views snapshot the version of the relation they
+// were derived from.
+func (r *Relation) Version() uint64 { return r.version }
 
 // New creates a relation with n tuples and no columns.
 func New(name string, n int) *Relation {
@@ -155,6 +164,7 @@ func (r *Relation) AddDet(name string, values []float64) error {
 	r.detIdx[name] = len(r.detCols)
 	r.detNames = append(r.detNames, name)
 	r.detCols = append(r.detCols, values)
+	r.version++
 	return nil
 }
 
@@ -165,6 +175,7 @@ func (r *Relation) AddStoch(name string, vg VGFunc) error {
 	}
 	r.stochIdx[name] = len(r.stochs)
 	r.stochs = append(r.stochs, stochAttr{name: name, vg: vg})
+	r.version++
 	return nil
 }
 
@@ -278,6 +289,7 @@ func (r *Relation) ComputeMeans(src rng.Source, sampleM int) {
 		}
 		r.means[sa.name] = col
 	}
+	r.version++
 }
 
 // SetMeans overrides the cached mean column for a stochastic attribute.
@@ -289,6 +301,7 @@ func (r *Relation) SetMeans(attr string, means []float64) error {
 		return errors.New("relation: means length mismatch")
 	}
 	r.means[attr] = means
+	r.version++
 	return nil
 }
 
@@ -320,6 +333,9 @@ func (r *Relation) Select(keep func(tuple int) bool) *Relation {
 		}
 	}
 	out := New(r.name, len(orig))
+	// Construction below mutates the view; snapshot the parent's version
+	// afterwards so Version() reflects the data the view was derived from.
+	defer func() { out.version = r.version }()
 	// Compose with any existing view mapping so OrigIndex is always
 	// relative to the original base relation, even for views of views.
 	out.origIdx = make([]int, len(orig))

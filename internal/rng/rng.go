@@ -162,6 +162,23 @@ func (src Source) Derive(words ...uint64) Source {
 	return Source{base: Mix(all...)}
 }
 
+// Split returns n sources derived from src, labeled 0..n-1, whose streams
+// are mutually independent and independent of src's. It is the substream
+// split API for callers that want genuinely independent randomness per
+// worker or per concurrent client (e.g. a load generator giving each client
+// its own seed) without any shared mutable state. Note that the engine's
+// scenario *sharding* deliberately does not use Split: scenario
+// realizations are pure functions of their (attr, group, scenario)
+// coordinates under a single source, which is what makes parallel
+// validation bit-identical to the sequential path.
+func (src Source) Split(n int) []Source {
+	out := make([]Source, n)
+	for i := range out {
+		out[i] = src.Derive(0x5b117, uint64(i))
+	}
+	return out
+}
+
 // StreamAt returns the substream for coordinate (attr, group, scenario).
 // "group" is the correlation group of the random variable: for independent
 // attributes it is the tuple index; for correlated attributes (e.g. all

@@ -230,3 +230,36 @@ func TestUint32BitBalance(t *testing.T) {
 		}
 	}
 }
+
+func TestSplitSourcesAreIndependentAndDeterministic(t *testing.T) {
+	src := NewSource(99)
+	a := src.Split(8)
+	b := src.Split(8)
+	for i := range a {
+		// Deterministic: splitting twice yields the same sources.
+		if a[i].Base() != b[i].Base() {
+			t.Fatalf("Split not deterministic at %d", i)
+		}
+		// Distinct from each other and from the parent.
+		if a[i].Base() == src.Base() {
+			t.Fatalf("split source %d equals parent", i)
+		}
+		for j := i + 1; j < len(a); j++ {
+			if a[i].Base() == a[j].Base() {
+				t.Fatalf("split sources %d and %d collide", i, j)
+			}
+		}
+	}
+	// Streams from different splits should decorrelate: crude check that
+	// first draws are not all equal.
+	v0 := a[0].StreamAt(0, 0, 0).Float64()
+	distinct := false
+	for i := 1; i < len(a); i++ {
+		if a[i].StreamAt(0, 0, 0).Float64() != v0 {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Fatal("split sources produce identical streams")
+	}
+}

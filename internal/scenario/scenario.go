@@ -8,9 +8,11 @@
 package scenario
 
 import (
+	"context"
 	"math"
 	"sort"
 
+	"spq/internal/par"
 	"spq/internal/relation"
 	"spq/internal/rng"
 )
@@ -220,6 +222,34 @@ func (s *Set) Summarize(chosen []int, dir Direction, accel []bool) *Summary {
 		out.Values[i] = v
 	}
 	return out
+}
+
+// SummarizeP is Summarize with the tuple loop sharded across workers. Each
+// tuple's extreme is computed independently, so the summary is identical to
+// the sequential one for any worker count.
+func (s *Set) SummarizeP(ctx context.Context, chosen []int, dir Direction, accel []bool, workers int) (*Summary, error) {
+	out := &Summary{Attr: s.Attr, Values: make([]float64, s.N), Chosen: append([]int(nil), chosen...)}
+	err := par.Ranges(ctx, s.N, workers, func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			d := dir
+			if accel != nil && accel[i] {
+				d = d.Opposite()
+			}
+			v := s.vals[chosen[0]][i]
+			for _, j := range chosen[1:] {
+				w := s.vals[j][i]
+				if (d == Min && w < v) || (d == Max && w > v) {
+					v = w
+				}
+			}
+			out.Values[i] = v
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // SatisfiedBy counts how many of the chosen scenarios a solution satisfies

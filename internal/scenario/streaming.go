@@ -1,6 +1,9 @@
 package scenario
 
 import (
+	"context"
+
+	"spq/internal/par"
 	"spq/internal/relation"
 	"spq/internal/rng"
 )
@@ -65,6 +68,100 @@ func StreamingScores(src rng.Source, rel *relation.Relation, attr string, x []fl
 		}
 	}
 	return scores, nil
+}
+
+// StreamingSummaryP is StreamingSummary with the generation order's outer
+// loop sharded across workers: TupleWise shards the tuple loop (each
+// tuple's extreme is independent), ScenarioWise shards the chosen scenarios
+// and merges the per-shard extremes. min/max merging is exact and
+// order-independent, so both strategies stay bit-identical to the
+// sequential path — and to each other — for any worker count. Like its
+// sequential twin it serves callers that summarize without materialized
+// sets (benchmarks, future out-of-core paths); the optimize loop itself
+// summarizes materialized sets via Set.SummarizeP.
+func StreamingSummaryP(ctx context.Context, src rng.Source, rel *relation.Relation, attr string, chosenIDs []int, dir Direction, accel []bool, strat Strategy, workers int) (*Summary, error) {
+	n := rel.N()
+	out := &Summary{Attr: attr, Values: make([]float64, n), Chosen: append([]int(nil), chosenIDs...)}
+	dirFor := func(i int) Direction {
+		if accel != nil && accel[i] {
+			return dir.Opposite()
+		}
+		return dir
+	}
+	switch strat {
+	case TupleWise:
+		err := par.Ranges(ctx, n, workers, func(_, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				d := dirFor(i)
+				var acc float64
+				for k, id := range chosenIDs {
+					v, err := rel.Value(src, attr, i, id)
+					if err != nil {
+						return err
+					}
+					if k == 0 || (d == Min && v < acc) || (d == Max && v > acc) {
+						acc = v
+					}
+				}
+				out.Values[i] = acc
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	default: // ScenarioWise
+		w := par.Workers(workers, len(chosenIDs))
+		partials := make([][]float64, w)
+		err := par.Ranges(ctx, len(chosenIDs), w, func(shard, lo, hi int) error {
+			vals := make([]float64, n)
+			row := make([]float64, n)
+			for k := lo; k < hi; k++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				if err := rel.Realize(src, attr, chosenIDs[k], row); err != nil {
+					return err
+				}
+				if k == lo {
+					copy(vals, row)
+					continue
+				}
+				for i := 0; i < n; i++ {
+					d := dirFor(i)
+					if (d == Min && row[i] < vals[i]) || (d == Max && row[i] > vals[i]) {
+						vals[i] = row[i]
+					}
+				}
+			}
+			partials[shard] = vals
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		first := true
+		for _, vals := range partials {
+			if vals == nil {
+				continue
+			}
+			if first {
+				copy(out.Values, vals)
+				first = false
+				continue
+			}
+			for i := 0; i < n; i++ {
+				d := dirFor(i)
+				if (d == Min && vals[i] < out.Values[i]) || (d == Max && vals[i] > out.Values[i]) {
+					out.Values[i] = vals[i]
+				}
+			}
+		}
+	}
+	return out, nil
 }
 
 // StreamingSummary computes the tuple-wise extreme of the chosen absolute

@@ -14,11 +14,13 @@
 package translate
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"spq/internal/milp"
+	"spq/internal/par"
 	"spq/internal/relation"
 	"spq/internal/rng"
 	"spq/internal/scenario"
@@ -537,32 +539,63 @@ func (s *SILP) FormulateCSA(summaries [][]*scenario.Summary, objSummaries []*sce
 	return m, vm, nil
 }
 
+// realizeRows materializes rows for absolute scenario indices
+// [first, first+m) of one inner-function expression, sharding scenarios
+// across workers. Each row is a pure function of its scenario coordinate, so
+// the result is identical for any worker count.
+func (s *SILP) realizeRows(ctx context.Context, src rng.Source, e spaql.LinExpr, mask []bool, first, m, workers int) ([][]float64, error) {
+	rows := make([][]float64, m)
+	err := par.Ranges(ctx, m, workers, func(_, lo, hi int) error {
+		for j := lo; j < hi; j++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			row := make([]float64, s.N)
+			if err := ExprRealize(src, s.Rel, e, first+j, row); err != nil {
+				return err
+			}
+			applyMask(row, mask)
+			rows[j] = row
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
 // GenerateSets materializes scenario sets of inner-function values for every
 // probabilistic constraint (and the probability objective, returned second),
 // covering absolute scenario indices [first, first+m).
 func (s *SILP) GenerateSets(src rng.Source, first, m int) ([]*scenario.Set, *scenario.Set, error) {
+	return s.GenerateSetsP(context.Background(), src, first, m, 1)
+}
+
+// GenerateSetsP is GenerateSets with scenario generation sharded across
+// workers and cancellation via ctx; results are identical to the sequential
+// path for any worker count.
+func (s *SILP) GenerateSetsP(ctx context.Context, src rng.Source, first, m, workers int) ([]*scenario.Set, *scenario.Set, error) {
 	sets := make([]*scenario.Set, len(s.ProbCons))
 	for k, pc := range s.ProbCons {
+		rows, err := s.realizeRows(ctx, src, pc.Expr, pc.Mask, first, m, workers)
+		if err != nil {
+			return nil, nil, err
+		}
 		set := scenario.FromRows(pc.Name, nil, nil)
-		for j := 0; j < m; j++ {
-			row := make([]float64, s.N)
-			if err := ExprRealize(src, s.Rel, pc.Expr, first+j, row); err != nil {
-				return nil, nil, err
-			}
-			applyMask(row, pc.Mask)
+		for j, row := range rows {
 			set.AppendRow(first+j, row)
 		}
 		sets[k] = set
 	}
 	var objSet *scenario.Set
 	if s.ObjKind == ObjProbability {
+		rows, err := s.realizeRows(ctx, src, s.ObjExpr, s.ObjMask, first, m, workers)
+		if err != nil {
+			return nil, nil, err
+		}
 		objSet = scenario.FromRows("objective", nil, nil)
-		for j := 0; j < m; j++ {
-			row := make([]float64, s.N)
-			if err := ExprRealize(src, s.Rel, s.ObjExpr, first+j, row); err != nil {
-				return nil, nil, err
-			}
-			applyMask(row, s.ObjMask)
+		for j, row := range rows {
 			objSet.AppendRow(first+j, row)
 		}
 	}
@@ -571,18 +604,23 @@ func (s *SILP) GenerateSets(src rng.Source, first, m int) ([]*scenario.Set, *sce
 
 // ExtendSets appends m more scenarios to previously generated sets.
 func (s *SILP) ExtendSets(src rng.Source, sets []*scenario.Set, objSet *scenario.Set, m int) error {
+	return s.ExtendSetsP(context.Background(), src, sets, objSet, m, 1)
+}
+
+// ExtendSetsP is ExtendSets with scenario generation sharded across workers
+// and cancellation via ctx.
+func (s *SILP) ExtendSetsP(ctx context.Context, src rng.Source, sets []*scenario.Set, objSet *scenario.Set, m, workers int) error {
 	for k, pc := range s.ProbCons {
 		set := sets[k]
 		first := 0
 		if set.M() > 0 {
 			first = set.IDs[set.M()-1] + 1
 		}
-		for j := 0; j < m; j++ {
-			row := make([]float64, s.N)
-			if err := ExprRealize(src, s.Rel, pc.Expr, first+j, row); err != nil {
-				return err
-			}
-			applyMask(row, pc.Mask)
+		rows, err := s.realizeRows(ctx, src, pc.Expr, pc.Mask, first, m, workers)
+		if err != nil {
+			return err
+		}
+		for j, row := range rows {
 			set.AppendRow(first+j, row)
 		}
 	}
@@ -591,12 +629,11 @@ func (s *SILP) ExtendSets(src rng.Source, sets []*scenario.Set, objSet *scenario
 		if objSet.M() > 0 {
 			first = objSet.IDs[objSet.M()-1] + 1
 		}
-		for j := 0; j < m; j++ {
-			row := make([]float64, s.N)
-			if err := ExprRealize(src, s.Rel, s.ObjExpr, first+j, row); err != nil {
-				return err
-			}
-			applyMask(row, s.ObjMask)
+		rows, err := s.realizeRows(ctx, src, s.ObjExpr, s.ObjMask, first, m, workers)
+		if err != nil {
+			return err
+		}
+		for j, row := range rows {
 			objSet.AppendRow(first+j, row)
 		}
 	}

@@ -33,8 +33,20 @@
 //	db.Register(rel)
 //	result, err := db.Query(querySQL, nil)
 //
+// For serving many queries — or one query on many cores — the concurrent
+// execution engine wraps the same algorithms with a bounded-concurrency
+// session layer, an LRU plan cache, per-query timeouts, and parallel
+// scenario generation and validation (bit-identical to sequential for any
+// worker count):
+//
+//	eng := spq.NewEngine(db, nil)
+//	res, err := eng.Query(ctx, spq.EngineRequest{Query: querySQL})
+//
+// The same engine backs the cmd/spqd daemon, which exposes POST /query,
+// GET /healthz, and GET /stats over HTTP/JSON with admission control.
+//
 // The heavy lifting lives in internal packages (solver, translation,
-// algorithms); this package re-exports the types a client needs.
+// algorithms, engine); this package re-exports the types a client needs.
 package spq
 
 import (
@@ -44,6 +56,7 @@ import (
 
 	"spq/internal/core"
 	"spq/internal/dist"
+	"spq/internal/engine"
 	"spq/internal/relation"
 	"spq/internal/rng"
 	"spq/internal/sketch"
@@ -123,6 +136,30 @@ func ParseQuery(text string) (*Query, error) { return spaql.Parse(text) }
 // ErrInfeasible reports a query whose deterministic constraints are already
 // unsatisfiable.
 var ErrInfeasible = core.ErrInfeasible
+
+// Concurrent execution engine re-exports (see internal/engine): a
+// bounded-concurrency session layer with a plan cache and per-query
+// timeouts, suitable for serving heavy query traffic.
+type (
+	// Engine is the concurrent query-execution engine.
+	Engine = engine.Engine
+	// EngineOptions tune concurrency, admission control, and the plan cache.
+	EngineOptions = engine.Options
+	// EngineRequest describes one engine query.
+	EngineRequest = engine.Request
+	// EngineResult is the outcome of an engine query.
+	EngineResult = engine.Result
+	// EngineStats is a snapshot of the engine's counters.
+	EngineStats = engine.Stats
+)
+
+// ErrOverloaded reports an engine query rejected by admission control.
+var ErrOverloaded = engine.ErrOverloaded
+
+// NewEngine creates a concurrent execution engine over the database's
+// registered relations. Opts may be nil for defaults (one solve slot and one
+// validation worker per CPU, 128-entry plan cache, 60s query timeout).
+func NewEngine(db *DB, opts *EngineOptions) *Engine { return engine.New(db, opts) }
 
 // DB is a registry of Monte Carlo relations that evaluates sPaQL queries
 // against them. It plays the role of the DBMS layer in the paper's
