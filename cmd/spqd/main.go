@@ -12,7 +12,11 @@
 //
 // Admission control (-max-inflight, -max-queue) bounds concurrent solves;
 // excess load is rejected with HTTP 429. Every query is bounded by -timeout
-// unless its request carries a tighter timeout_ms.
+// unless its request carries a tighter timeout_ms. Identical deterministic
+// requests are answered from a result LRU (-result-cache) without solving;
+// "method": "sketch" (with optional group_size/shards/max_candidates)
+// selects the partition-parallel SketchRefine pipeline. GET /stats reports
+// admission-queue depth, both caches, and shard counters in one payload.
 package main
 
 import (
@@ -46,20 +50,21 @@ func main() {
 		maxInFlight = flag.Int("max-inflight", 0, "max concurrent solves (0 = one per CPU)")
 		maxQueue    = flag.Int("max-queue", 0, "max queries waiting for a solve slot (0 = 4x max-inflight)")
 		cacheSize   = flag.Int("cache", 128, "plan cache capacity in entries (negative disables)")
+		resultCache = flag.Int("result-cache", 256, "result cache capacity in entries (negative disables)")
 		timeout     = flag.Duration("timeout", 60*time.Second, "default per-query timeout")
 		parallelism = flag.Int("parallelism", 0, "per-query worker count (0 = one per CPU)")
 	)
 	flag.Parse()
 
 	if err := run(*addr, *workloads, *csvPath, *n, *seed, *meansM,
-		*maxInFlight, *maxQueue, *cacheSize, *timeout, *parallelism); err != nil {
+		*maxInFlight, *maxQueue, *cacheSize, *resultCache, *timeout, *parallelism); err != nil {
 		fmt.Fprintln(os.Stderr, "spqd:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, workloads, csvPath string, n int, seed uint64, meansM,
-	maxInFlight, maxQueue, cacheSize int, timeout time.Duration, parallelism int) error {
+	maxInFlight, maxQueue, cacheSize, resultCache int, timeout time.Duration, parallelism int) error {
 
 	db := spq.NewDB()
 	db.MeansM = meansM
@@ -111,11 +116,12 @@ func run(addr, workloads, csvPath string, n int, seed uint64, meansM,
 	sort.Strings(tables)
 
 	eng := spq.NewEngine(db, &engine.Options{
-		MaxInFlight:    maxInFlight,
-		MaxQueue:       maxQueue,
-		PlanCacheSize:  cacheSize,
-		DefaultTimeout: timeout,
-		Parallelism:    parallelism,
+		MaxInFlight:     maxInFlight,
+		MaxQueue:        maxQueue,
+		PlanCacheSize:   cacheSize,
+		ResultCacheSize: resultCache,
+		DefaultTimeout:  timeout,
+		Parallelism:     parallelism,
 	})
 
 	srv := &http.Server{

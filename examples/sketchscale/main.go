@@ -67,6 +67,17 @@ func main() {
 	}
 	sketchTime := time.Since(start)
 	fmt.Printf("sketch-refine:         %s in %v\n", sketched, sketchTime.Round(time.Millisecond))
+
+	// Partition-parallel sketch: the medoid solve is split into 4 shard
+	// solves that run concurrently (bit-identical for any worker count).
+	start = time.Now()
+	sharded, sstats, err := db.QuerySketch(query, opts, &spq.SketchOptions{GroupSize: 64, Seed: 3, Shards: 4, Workers: -1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	shardedTime := time.Since(start)
+	fmt.Printf("sketch-refine (4 shards): %s in %v (%d shard solves)\n",
+		sharded, shardedTime.Round(time.Millisecond), sstats.ShardSolves)
 	fmt.Printf("\nsketch stats: %d groups, sketch over %d representatives, refine over %d candidates (%.1f%% of N)\n",
 		stats.Groups, stats.SketchTuples, stats.Candidates, 100*float64(stats.Candidates)/n)
 	fmt.Printf("sketch phase %v, refine phase %v\n",

@@ -6,6 +6,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"time"
 
@@ -72,40 +73,62 @@ func (o *Options) withDefaults() Options {
 	if o != nil {
 		out = *o
 	}
+	// Non-positive counts and budgets (possibly from unvalidated client
+	// input reaching the HTTP layer) take the defaults: a negative M would
+	// reach make() as a negative length.
 	if out.ValidationSeed == 0 {
 		out.ValidationSeed = 0x5eed0a11da7e
 	}
-	if out.ValidationM == 0 {
+	if out.ValidationM <= 0 {
 		out.ValidationM = 10000
 	}
-	if out.InitialM == 0 {
+	if out.InitialM <= 0 {
 		out.InitialM = 20
 	}
-	if out.IncrementM == 0 {
+	if out.IncrementM <= 0 {
 		out.IncrementM = out.InitialM
 	}
-	if out.MaxM == 0 {
+	if out.MaxM <= 0 {
 		out.MaxM = 1000
 	}
-	if out.IncrementZ == 0 {
+	if out.FixedZ < 0 {
+		out.FixedZ = 0
+	}
+	if out.IncrementZ <= 0 {
 		out.IncrementZ = 1
 	}
-	if out.Epsilon == 0 {
+	if out.Epsilon <= 0 {
 		out.Epsilon = math.Inf(1)
 	}
-	if out.MaxCSAIters == 0 {
+	if out.MaxCSAIters <= 0 {
 		out.MaxCSAIters = 25
 	}
-	if out.SolverTime == 0 {
+	if out.SolverTime <= 0 {
 		out.SolverTime = 30 * time.Second
 	}
-	if out.SolverNodes == 0 {
+	if out.SolverNodes <= 0 {
 		out.SolverNodes = 200000
 	}
-	if out.RelGap == 0 {
+	if out.RelGap <= 0 {
 		out.RelGap = 1e-4
 	}
 	return out
+}
+
+// Key renders every result-relevant option field canonically, after
+// defaulting, so two Options values that evaluate identically share one key.
+// The engine's result cache builds its keys from it. Parallelism is
+// deliberately excluded: parallel evaluation is bit-identical to sequential
+// for any worker count, so it cannot change a result. Time budgets
+// (TimeLimit, SolverTime, SolverNodes) are included: when a budget binds,
+// the result depends on it. Nil receivers key like the zero Options.
+func (o *Options) Key() string {
+	eff := o.withDefaults()
+	return fmt.Sprintf("s=%d,vs=%d,vm=%d,im=%d,incm=%d,maxm=%d,z=%d,incz=%d,eps=%g,csa=%d,noacc=%t,tl=%d,st=%d,sn=%d,gap=%g",
+		eff.Seed, eff.ValidationSeed, eff.ValidationM, eff.InitialM, eff.IncrementM,
+		eff.MaxM, eff.FixedZ, eff.IncrementZ, eff.Epsilon, eff.MaxCSAIters,
+		eff.DisableAcceleration, int64(eff.TimeLimit), int64(eff.SolverTime),
+		eff.SolverNodes, eff.RelGap)
 }
 
 // Iteration records one optimize/validate round for diagnostics and the
@@ -147,6 +170,23 @@ type Solution struct {
 	Iterations []Iteration
 	// TotalTime is the end-to-end wall-clock time.
 	TotalTime time.Duration
+}
+
+// HitLimit reports whether the evaluation was cut short by a wall-clock or
+// node budget — the one way a fixed (query, options, seeds) evaluation can
+// come out different between runs, since how far a budget lets the search
+// get depends on machine load. The engine's result cache refuses to cache
+// such best-effort solutions.
+func (s *Solution) HitLimit(o *Options) bool {
+	if o != nil && o.TimeLimit > 0 && s.TotalTime >= o.TimeLimit {
+		return true
+	}
+	for _, it := range s.Iterations {
+		if it.SolverStatus == milp.StatusLimit {
+			return true
+		}
+	}
+	return false
 }
 
 // PackageSize returns Σ x_i.

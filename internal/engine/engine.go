@@ -1,6 +1,6 @@
 // Package engine is the concurrent query-execution layer of the system: it
 // turns the one-shot algorithms of internal/core into a long-lived service.
-// It adds three things the single-query path does not have:
+// It adds four things the single-query path does not have:
 //
 //   - a bounded-concurrency session layer: at most MaxInFlight queries solve
 //     at once, a bounded number more may wait for a slot, and everything
@@ -11,14 +11,24 @@
 //     statement and invalidated by the registered relation's version
 //     counter, so repeated queries skip WHERE filtering, mask evaluation,
 //     and bound derivation;
+//   - an LRU result cache: evaluation is fully deterministic for fixed
+//     (query, method, options, seeds) — parallelism is bit-identical to
+//     sequential — so identical requests are served from a response LRU
+//     without solving, or even waiting for a solve slot;
 //   - per-query timeouts and cancellation via context.Context, carried all
 //     the way into scenario generation, validation, and the MILP search.
+//
+// Methods resolve through the core.Solver seam (SummarySearch, Naive), plus
+// "sketch", which runs the partition-aware SketchRefine pipeline
+// (internal/sketch) against the cached plan: the relation's cached
+// Partitioning shards the medoid solve, shards solve concurrently, and one
+// global refine follows.
 //
 // Query evaluation itself runs with core.Options.Parallelism workers, so one
 // query exploits all cores when the server is idle while concurrent queries
 // share them under load. Parallel execution is bit-identical to sequential
-// (see internal/core), so the cache and the worker pool never change
-// answers.
+// (see internal/core and internal/sketch), so the caches and the worker
+// pools never change answers.
 package engine
 
 import (
@@ -34,6 +44,7 @@ import (
 
 	"spq/internal/core"
 	"spq/internal/relation"
+	"spq/internal/sketch"
 	"spq/internal/spaql"
 	"spq/internal/translate"
 )
@@ -66,6 +77,11 @@ type Options struct {
 	// PlanCacheSize is the LRU capacity of the plan cache in entries
 	// (default 128; 0 uses the default, negative disables caching).
 	PlanCacheSize int
+	// ResultCacheSize is the LRU capacity of the result cache in entries
+	// (default 256; 0 uses the default, negative disables caching).
+	// Identical (query, method, options, seeds, timeout) requests against
+	// an unchanged relation are answered from it without solving.
+	ResultCacheSize int
 	// DefaultTimeout bounds each query's evaluation when the request
 	// carries no tighter deadline (default 60s).
 	DefaultTimeout time.Duration
@@ -90,6 +106,9 @@ func (o *Options) withDefaults() Options {
 	if out.PlanCacheSize == 0 {
 		out.PlanCacheSize = 128
 	}
+	if out.ResultCacheSize == 0 {
+		out.ResultCacheSize = 256
+	}
 	if out.DefaultTimeout == 0 {
 		out.DefaultTimeout = 60 * time.Second
 	}
@@ -104,24 +123,34 @@ type Request struct {
 	// Query is the sPaQL text.
 	Query string
 	// Method selects the algorithm: "" or "summarysearch" (the default),
-	// or "naive" for the SAA baseline.
+	// "naive" for the SAA baseline, or "sketch" for the partition-aware
+	// SketchRefine pipeline.
 	Method string
 	// Timeout overrides the engine's default per-query timeout when > 0.
 	Timeout time.Duration
 	// Options tune the evaluation; nil uses core defaults. Parallelism 0
 	// inherits the engine's default.
 	Options *core.Options
+	// Sketch tunes the sketch pipeline when Method is "sketch"; nil uses
+	// sketch defaults. Workers 0 inherits the engine's parallelism.
+	Sketch *sketch.Options
 }
 
-// Result is the outcome of an engine query.
+// Result is the outcome of an engine query. Cached results are shared
+// between requests: treat the Solution as read-only.
 type Result struct {
 	*core.Solution
 	// Query is the parsed statement (from the plan cache on a hit).
 	Query *spaql.Query
 	// Rel is the WHERE-filtered relation the multiplicities index.
 	Rel *relation.Relation
-	// CacheHit reports whether the plan came from the cache.
+	// CacheHit reports whether the plan came from the plan cache.
 	CacheHit bool
+	// ResultCacheHit reports whether the whole result came from the result
+	// cache (no solve ran; CacheHit is false in that case).
+	ResultCacheHit bool
+	// Sketch reports the sketch pipeline's stats for Method "sketch".
+	Sketch *sketch.Stats
 	// Wait is the time spent in the admission queue before solving.
 	Wait time.Duration
 }
@@ -138,6 +167,55 @@ func (r *Result) Multiplicities() map[int]int {
 	return out
 }
 
+// lruCache is a tiny string-keyed LRU shared by the plan and result caches.
+// The caller synchronizes access (the engine holds its mutex).
+type lruCache struct {
+	cap int
+	ll  *list.List // front = most recently used; values are *lruEntry
+	m   map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{cap: capacity, ll: list.New(), m: map[string]*list.Element{}}
+}
+
+func (c *lruCache) get(key string) (any, bool) {
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+func (c *lruCache) put(key string, val any) {
+	if el, ok := c.m[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lruCache) drop(key string) {
+	if el, ok := c.m[key]; ok {
+		c.ll.Remove(el)
+		delete(c.m, key)
+	}
+}
+
+func (c *lruCache) len() int { return c.ll.Len() }
+
 // plan is one cached prepared query.
 type plan struct {
 	key        string
@@ -147,20 +225,47 @@ type plan struct {
 	relVersion uint64
 }
 
-// Stats is a point-in-time snapshot of the engine's counters.
+// cachedResult is one result-cache entry: a fully evaluated, deterministic
+// response plus the relation identity/version it is valid for.
+type cachedResult struct {
+	sol        *core.Solution
+	sketch     *sketch.Stats
+	query      *spaql.Query
+	rel        *relation.Relation // WHERE-filtered view the solution indexes
+	table      *relation.Relation
+	relVersion uint64
+}
+
+// Stats is a point-in-time snapshot of the engine's counters, served as one
+// JSON payload by GET /stats (admission, both caches, sketch sharding; the
+// fields are documented in DESIGN.md).
 type Stats struct {
-	Queries     int64 `json:"queries"`
-	Failures    int64 `json:"failures"`
-	Rejected    int64 `json:"rejected"`
+	Queries  int64 `json:"queries"`
+	Failures int64 `json:"failures"`
+	Rejected int64 `json:"rejected"`
+	// CacheHits/CacheMisses count the plan cache.
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
-	// Active counts queries currently solving; Queued counts queries
-	// waiting for a solve slot (not those already solving).
-	Active       int64 `json:"active"`
-	Queued       int64 `json:"queued"`
-	SolveTimeMS  int64 `json:"solve_time_ms"`
-	MaxInFlight  int   `json:"max_in_flight"`
-	PlanCacheLen int   `json:"plan_cache_len"`
+	// ResultCacheHits counts queries answered without solving;
+	// ResultCacheMisses counts lookups that found no valid entry (including
+	// queries that subsequently failed or were rejected by admission, so it
+	// can exceed the number of solves that ran).
+	ResultCacheHits   int64 `json:"result_cache_hits"`
+	ResultCacheMisses int64 `json:"result_cache_misses"`
+	// SketchQueries counts method=sketch evaluations; ShardSolves counts
+	// the per-shard sketch solves they fanned out.
+	SketchQueries int64 `json:"sketch_queries"`
+	ShardSolves   int64 `json:"shard_solves"`
+	// Active counts queries currently solving; Queued is the admission-queue
+	// depth (queries waiting for a solve slot, not those already solving),
+	// bounded by MaxQueue.
+	Active         int64 `json:"active"`
+	Queued         int64 `json:"queued"`
+	SolveTimeMS    int64 `json:"solve_time_ms"`
+	MaxInFlight    int   `json:"max_in_flight"`
+	MaxQueue       int   `json:"max_queue"`
+	PlanCacheLen   int   `json:"plan_cache_len"`
+	ResultCacheLen int   `json:"result_cache_len"`
 }
 
 // Engine is a concurrent sPaQL query-execution engine over a catalog of
@@ -170,56 +275,53 @@ type Engine struct {
 	opts Options
 	sem  chan struct{}
 
-	queries     atomic.Int64
-	failures    atomic.Int64
-	rejected    atomic.Int64
-	cacheHits   atomic.Int64
-	cacheMisses atomic.Int64
-	active      atomic.Int64
-	queued      atomic.Int64
-	solveNanos  atomic.Int64
+	queries       atomic.Int64
+	failures      atomic.Int64
+	rejected      atomic.Int64
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
+	resultHits    atomic.Int64
+	resultMisses  atomic.Int64
+	sketchQueries atomic.Int64
+	shardSolves   atomic.Int64
+	active        atomic.Int64
+	queued        atomic.Int64
+	solveNanos    atomic.Int64
 
-	mu    sync.Mutex
-	lru   *list.List // front = most recently used; values are *plan
-	plans map[string]*list.Element
+	mu      sync.Mutex
+	plans   *lruCache
+	results *lruCache
 }
 
 // New creates an engine over the catalog.
 func New(cat Catalog, o *Options) *Engine {
 	opts := o.withDefaults()
 	return &Engine{
-		cat:   cat,
-		opts:  opts,
-		sem:   make(chan struct{}, opts.MaxInFlight),
-		lru:   list.New(),
-		plans: map[string]*list.Element{},
+		cat:     cat,
+		opts:    opts,
+		sem:     make(chan struct{}, opts.MaxInFlight),
+		plans:   newLRU(opts.PlanCacheSize),
+		results: newLRU(opts.ResultCacheSize),
 	}
 }
 
-// prepare returns a cached plan for the query text, or parses, validates,
-// and lowers it and caches the result. The cache key is the canonical
-// rendering of the *parsed* query (spaql guarantees Parse(q.String())
-// round-trips), so reformatted, comment-bearing, or otherwise trivially
-// different texts share a plan exactly when they denote the same statement —
-// a purely textual key would conflate e.g. queries that differ only inside
-// a "--" line comment. Parsing is cheap; the cache exists to skip the
-// translation (WHERE filtering, mask evaluation, bound derivation). A
-// cached plan is dead as soon as the table name resolves to a different
-// relation or the relation's version counter moved (e.g. re-registered data
-// or recomputed means).
-func (e *Engine) prepare(text string) (*plan, bool, error) {
-	q, err := spaql.Parse(text)
-	if err != nil {
-		return nil, false, err
-	}
-	key := q.String()
-
-	if p := e.cacheGet(key); p != nil {
+// prepare returns a cached plan for the parsed query, or validates and
+// lowers it and caches the result. The cache key is the canonical rendering
+// of the *parsed* query (spaql guarantees Parse(q.String()) round-trips), so
+// reformatted, comment-bearing, or otherwise trivially different texts share
+// a plan exactly when they denote the same statement — a purely textual key
+// would conflate e.g. queries that differ only inside a "--" line comment.
+// Parsing is cheap; the cache exists to skip the translation (WHERE
+// filtering, mask evaluation, bound derivation). A cached plan is dead as
+// soon as the table name resolves to a different relation or the relation's
+// version counter moved (e.g. re-registered data or recomputed means).
+func (e *Engine) prepare(q *spaql.Query, key string) (*plan, bool, error) {
+	if p := e.planGet(key); p != nil {
 		if rel, ok := e.cat.Table(p.query.Table); ok && rel == p.table && rel.Version() == p.relVersion {
 			e.cacheHits.Add(1)
 			return p, true, nil
 		}
-		e.cacheDrop(key)
+		e.planDrop(key)
 	}
 	e.cacheMisses.Add(1)
 
@@ -233,61 +335,143 @@ func (e *Engine) prepare(text string) (*plan, bool, error) {
 		return nil, false, err
 	}
 	p := &plan{key: key, query: q, silp: silp, table: rel, relVersion: version}
-	e.cachePut(p)
+	e.planPut(p)
 	return p, false, nil
 }
 
-func (e *Engine) cacheGet(key string) *plan {
+func (e *Engine) planGet(key string) *plan {
 	if e.opts.PlanCacheSize < 0 {
 		return nil
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	el, ok := e.plans[key]
-	if !ok {
-		return nil
+	if v, ok := e.plans.get(key); ok {
+		return v.(*plan)
 	}
-	e.lru.MoveToFront(el)
-	return el.Value.(*plan)
+	return nil
 }
 
-func (e *Engine) cachePut(p *plan) {
+func (e *Engine) planPut(p *plan) {
 	if e.opts.PlanCacheSize < 0 {
 		return
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if el, ok := e.plans[p.key]; ok {
-		el.Value = p
-		e.lru.MoveToFront(el)
-		return
-	}
-	e.plans[p.key] = e.lru.PushFront(p)
-	for e.lru.Len() > e.opts.PlanCacheSize {
-		oldest := e.lru.Back()
-		e.lru.Remove(oldest)
-		delete(e.plans, oldest.Value.(*plan).key)
-	}
+	e.plans.put(p.key, p)
 }
 
-func (e *Engine) cacheDrop(key string) {
+func (e *Engine) planDrop(key string) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if el, ok := e.plans[key]; ok {
-		e.lru.Remove(el)
-		delete(e.plans, key)
-	}
+	e.plans.drop(key)
 }
 
-// Query evaluates one request under admission control: it waits for a solve
-// slot (rejecting immediately when MaxQueue other queries are already
-// waiting), bounds the evaluation by the request timeout, and runs the
-// selected algorithm with the engine's parallelism.
+// resultKey renders the full determinism domain of a request: the canonical
+// statement, the method, every result-relevant evaluation option (seeds
+// included, parallelism excluded — it is bit-identical), the effective
+// timeout (when a budget binds, the result depends on it), and the sketch
+// options for the sketch method.
+func resultKey(qstr, method string, opts *core.Options, timeout time.Duration, sopts *sketch.Options) string {
+	key := qstr + "\x1f" + method + "\x1f" + opts.Key() + "\x1f" + fmt.Sprint(int64(timeout))
+	if method == "sketch" {
+		key += "\x1f" + sopts.Key()
+	}
+	return key
+}
+
+// resultGet returns a still-valid cached result, dropping entries whose
+// relation changed. Lookup, validation, and the drop share one critical
+// section so a stale read can never evict a fresh entry stored by a
+// concurrent solve. A nil return is counted as a miss.
+func (e *Engine) resultGet(key string) *cachedResult {
+	if e.opts.ResultCacheSize < 0 {
+		return nil
+	}
+	e.mu.Lock()
+	if v, ok := e.results.get(key); ok {
+		cr := v.(*cachedResult)
+		if rel, live := e.cat.Table(cr.query.Table); live && rel == cr.table && rel.Version() == cr.relVersion {
+			e.mu.Unlock()
+			e.resultHits.Add(1)
+			return cr
+		}
+		e.results.drop(key)
+	}
+	e.mu.Unlock()
+	e.resultMisses.Add(1)
+	return nil
+}
+
+func (e *Engine) resultPut(key string, cr *cachedResult) {
+	if e.opts.ResultCacheSize < 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.results.put(key, cr)
+}
+
+// Query evaluates one request under admission control: it parses the query,
+// serves identical requests from the result cache (no solve slot needed),
+// and otherwise waits for a solve slot (rejecting immediately when MaxQueue
+// other queries are already waiting), bounds the evaluation by the request
+// timeout, and runs the selected method with the engine's parallelism.
 func (e *Engine) Query(ctx context.Context, req Request) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	e.queries.Add(1)
+
+	q, err := spaql.Parse(req.Query)
+	if err != nil {
+		e.failures.Add(1)
+		return nil, fmt.Errorf("%w: %w", ErrBadQuery, err)
+	}
+	qstr := q.String()
+
+	// method is canonicalized through the solver registry ("" and
+	// "summarysearch" are the same computation and must share one result
+	// entry).
+	method := strings.ToLower(req.Method)
+	var solver core.Solver
+	if method != "sketch" {
+		if solver, err = core.SolverByName(method); err != nil {
+			e.failures.Add(1)
+			return nil, fmt.Errorf("%w: unknown method %q", ErrBadQuery, req.Method)
+		}
+		method = solver.Name()
+	}
+
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = e.opts.DefaultTimeout
+	}
+
+	var opts core.Options
+	if req.Options != nil {
+		opts = *req.Options
+	}
+	if opts.Parallelism == 0 {
+		opts.Parallelism = e.opts.Parallelism
+	}
+	var sopts *sketch.Options
+	if method == "sketch" {
+		s := sketch.Options{}
+		if req.Sketch != nil {
+			s = *req.Sketch
+		}
+		if s.Workers == 0 {
+			s.Workers = opts.Parallelism
+		}
+		sopts = &s
+	}
+
+	// Identical deterministic requests are answered without solving (and
+	// without consuming a solve slot or queue capacity).
+	rkey := resultKey(qstr, method, &opts, timeout, sopts)
+	if cr := e.resultGet(rkey); cr != nil {
+		return &Result{Solution: cr.sol, Query: cr.query, Rel: cr.rel, ResultCacheHit: true, Sketch: cr.sketch}, nil
+	}
 
 	// Admission control: the total commitment (solving + waiting) may not
 	// exceed MaxInFlight + MaxQueue.
@@ -298,10 +482,6 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Result, error) {
 	}
 	defer e.queued.Add(-1)
 
-	timeout := req.Timeout
-	if timeout <= 0 {
-		timeout = e.opts.DefaultTimeout
-	}
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 
@@ -318,30 +498,23 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Result, error) {
 	e.active.Add(1)
 	defer e.active.Add(-1)
 
-	p, hit, err := e.prepare(req.Query)
+	p, hit, err := e.prepare(q, qstr)
 	if err != nil {
 		e.failures.Add(1)
 		return nil, fmt.Errorf("%w: %w", ErrBadQuery, err)
 	}
 
-	var opts core.Options
-	if req.Options != nil {
-		opts = *req.Options
-	}
-	if opts.Parallelism == 0 {
-		opts.Parallelism = e.opts.Parallelism
-	}
-
 	solveStart := time.Now()
 	var sol *core.Solution
-	switch strings.ToLower(req.Method) {
-	case "", "summarysearch":
-		sol, err = core.SummarySearchCtx(ctx, p.silp, &opts)
-	case "naive":
-		sol, err = core.NaiveCtx(ctx, p.silp, &opts)
-	default:
-		e.failures.Add(1)
-		return nil, fmt.Errorf("%w: unknown method %q", ErrBadQuery, req.Method)
+	var sstats *sketch.Stats
+	if method == "sketch" {
+		sol, sstats, err = sketch.SolveSILP(ctx, p.silp, &opts, sopts)
+		if sstats != nil {
+			e.sketchQueries.Add(1)
+			e.shardSolves.Add(int64(sstats.ShardSolves))
+		}
+	} else {
+		sol, err = solver.Solve(ctx, p.silp, &opts)
 	}
 	e.solveNanos.Add(int64(time.Since(solveStart)))
 	if err != nil {
@@ -353,13 +526,28 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Result, error) {
 		}
 		return nil, err
 	}
-	return &Result{Solution: sol, Query: p.query, Rel: p.silp.Rel, CacheHit: hit, Wait: wait}, nil
+
+	// The solution's X indexes p.silp.Rel for every method: the sketch
+	// pipeline maps its refine solution back to the plan's view. A solution
+	// cut short by a wall-clock/node budget is best-effort, not
+	// deterministic — serving it to future identical requests would pin a
+	// load-degraded answer — so it is not cached. (For sketch, the check
+	// sees the refine solve's iterations; a budget cut inside a shard solve
+	// is not detected.)
+	if !sol.HitLimit(&opts) {
+		e.resultPut(rkey, &cachedResult{
+			sol: sol, sketch: sstats, query: p.query, rel: p.silp.Rel,
+			table: p.table, relVersion: p.relVersion,
+		})
+	}
+	return &Result{Solution: sol, Query: p.query, Rel: p.silp.Rel, CacheHit: hit, Sketch: sstats, Wait: wait}, nil
 }
 
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
-	cacheLen := e.lru.Len()
+	planLen := e.plans.len()
+	resultLen := e.results.len()
 	e.mu.Unlock()
 	// The queued counter tracks the engine's total commitment (waiting +
 	// solving) for admission; report only the waiting backlog.
@@ -368,15 +556,21 @@ func (e *Engine) Stats() Stats {
 		waiting = 0
 	}
 	return Stats{
-		Queries:      e.queries.Load(),
-		Failures:     e.failures.Load(),
-		Rejected:     e.rejected.Load(),
-		CacheHits:    e.cacheHits.Load(),
-		CacheMisses:  e.cacheMisses.Load(),
-		Active:       e.active.Load(),
-		Queued:       waiting,
-		SolveTimeMS:  e.solveNanos.Load() / int64(time.Millisecond),
-		MaxInFlight:  e.opts.MaxInFlight,
-		PlanCacheLen: cacheLen,
+		Queries:           e.queries.Load(),
+		Failures:          e.failures.Load(),
+		Rejected:          e.rejected.Load(),
+		CacheHits:         e.cacheHits.Load(),
+		CacheMisses:       e.cacheMisses.Load(),
+		ResultCacheHits:   e.resultHits.Load(),
+		ResultCacheMisses: e.resultMisses.Load(),
+		SketchQueries:     e.sketchQueries.Load(),
+		ShardSolves:       e.shardSolves.Load(),
+		Active:            e.active.Load(),
+		Queued:            waiting,
+		SolveTimeMS:       e.solveNanos.Load() / int64(time.Millisecond),
+		MaxInFlight:       e.opts.MaxInFlight,
+		MaxQueue:          e.opts.MaxQueue,
+		PlanCacheLen:      planLen,
+		ResultCacheLen:    resultLen,
 	}
 }

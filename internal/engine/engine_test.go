@@ -57,7 +57,10 @@ func smallCoreOptions() *core.Options {
 
 func TestEngineQueryAndPlanCache(t *testing.T) {
 	cat := newCatalog(t, 15)
-	e := New(cat, nil)
+	// Result cache off so the repeated query exercises the plan cache (with
+	// it on, the identical request would be served without planning at all;
+	// that path is covered by the resultcache tests).
+	e := New(cat, &Options{ResultCacheSize: -1})
 
 	res, err := e.Query(context.Background(), Request{Query: testQuery, Options: smallCoreOptions()})
 	if err != nil {

@@ -7,15 +7,17 @@ import (
 	"math"
 	"net/http"
 	"sort"
+	"strings"
 	"time"
 
 	"spq/internal/core"
+	"spq/internal/sketch"
 )
 
 // QueryRequest is the JSON body of POST /query.
 type QueryRequest struct {
 	Query  string `json:"query"`
-	Method string `json:"method,omitempty"` // "summarysearch" (default) | "naive"
+	Method string `json:"method,omitempty"` // "summarysearch" (default) | "naive" | "sketch"
 	// TimeoutMS bounds the evaluation in milliseconds (0 = engine default).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 
@@ -27,6 +29,21 @@ type QueryRequest struct {
 	MaxM        int    `json:"max_m,omitempty"`
 	FixedZ      int    `json:"fixed_z,omitempty"`
 	Parallelism int    `json:"parallelism,omitempty"`
+
+	// Sketch-pipeline options for method "sketch"; zero values use sketch
+	// defaults.
+	GroupSize     int    `json:"group_size,omitempty"`
+	Shards        int    `json:"shards,omitempty"`
+	MaxCandidates int    `json:"max_candidates,omitempty"`
+	SketchSeed    uint64 `json:"sketch_seed,omitempty"`
+}
+
+// SketchInfo reports what the sketch pipeline did for a method=sketch query.
+type SketchInfo struct {
+	Groups     int  `json:"groups"`
+	Shards     int  `json:"shards"`
+	Candidates int  `json:"candidates"`
+	FellBack   bool `json:"fell_back"`
 }
 
 // PackageTuple is one package member in a QueryResponse.
@@ -46,8 +63,12 @@ type QueryResponse struct {
 	PackageSize float64        `json:"package_size"`
 	Package     []PackageTuple `json:"package"`
 	CacheHit    bool           `json:"cache_hit"`
-	WaitMS      int64          `json:"wait_ms"`
-	TotalMS     int64          `json:"total_ms"`
+	// ResultCacheHit reports that the whole response was served from the
+	// result cache without solving.
+	ResultCacheHit bool        `json:"result_cache_hit,omitempty"`
+	Sketch         *SketchInfo `json:"sketch,omitempty"`
+	WaitMS         int64       `json:"wait_ms"`
+	TotalMS        int64       `json:"total_ms"`
 }
 
 type errorResponse struct {
@@ -109,6 +130,14 @@ func (e *Engine) handleQuery(w http.ResponseWriter, r *http.Request) {
 			Parallelism: qr.Parallelism,
 		},
 	}
+	if strings.ToLower(qr.Method) == "sketch" {
+		req.Sketch = &sketch.Options{
+			GroupSize:     qr.GroupSize,
+			Shards:        qr.Shards,
+			MaxCandidates: qr.MaxCandidates,
+			Seed:          qr.SketchSeed,
+		}
+	}
 	start := time.Now()
 	res, err := e.Query(r.Context(), req)
 	if err != nil {
@@ -128,16 +157,25 @@ func (e *Engine) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	resp := QueryResponse{
-		Feasible:    res.Feasible,
-		Objective:   res.Objective,
-		Surpluses:   res.Surpluses,
-		M:           res.M,
-		Z:           res.Z,
-		PackageSize: res.PackageSize(),
-		Package:     []PackageTuple{},
-		CacheHit:    res.CacheHit,
-		WaitMS:      res.Wait.Milliseconds(),
-		TotalMS:     time.Since(start).Milliseconds(),
+		Feasible:       res.Feasible,
+		Objective:      res.Objective,
+		Surpluses:      res.Surpluses,
+		M:              res.M,
+		Z:              res.Z,
+		PackageSize:    res.PackageSize(),
+		Package:        []PackageTuple{},
+		CacheHit:       res.CacheHit,
+		ResultCacheHit: res.ResultCacheHit,
+		WaitMS:         res.Wait.Milliseconds(),
+		TotalMS:        time.Since(start).Milliseconds(),
+	}
+	if res.Sketch != nil {
+		resp.Sketch = &SketchInfo{
+			Groups:     res.Sketch.Groups,
+			Shards:     res.Sketch.Shards,
+			Candidates: res.Sketch.Candidates,
+			FellBack:   res.Sketch.FellBack,
+		}
 	}
 	// eps_upper is +Inf when no bound exists; JSON has no Inf, so omit it.
 	if !math.IsInf(res.EpsUpper, 0) && !math.IsNaN(res.EpsUpper) {

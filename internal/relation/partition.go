@@ -1,0 +1,524 @@
+// Partitioning is the storage half of the partition-aware solve pipeline:
+// a first-class descriptor of a tuple partitioning (shard → tuple index
+// sets) that the sketch layer and the engine plan against. Partitionings
+// are built once per (spec, relation version) and cached on the relation,
+// so repeated queries — and the engine's cached plans — never re-cluster.
+//
+// A partitioning has two levels. *Groups* are the τ-sized cells of
+// SketchRefine (Brucato et al., VLDB 2018): similar tuples with one
+// representative (medoid) each. *Shards* are contiguous runs of groups that
+// form the unit of parallel sketch solving; a 1-shard partitioning is
+// exactly the classic single-solve sketch. Groups are built by one of three
+// strategies (seeded k-means over feature columns, hash, or range on a
+// feature column); shards always split the group list into near-equal
+// contiguous runs, which keeps shard composition deterministic and
+// independent of worker count.
+
+package relation
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"spq/internal/rng"
+)
+
+// PartitionStrategy selects how tuples are grouped.
+type PartitionStrategy int
+
+const (
+	// PartitionKMeans clusters tuples by seeded k-means over the spec's
+	// feature columns (the SketchRefine default: groups hold similar
+	// tuples, so a medoid represents its group well).
+	PartitionKMeans PartitionStrategy = iota
+	// PartitionHash assigns tuples to groups by a seeded hash of the tuple
+	// index: uniform, feature-free, and O(N).
+	PartitionHash
+	// PartitionRange sorts tuples by the first feature column and cuts the
+	// order into consecutive τ-sized groups.
+	PartitionRange
+)
+
+func (s PartitionStrategy) String() string {
+	switch s {
+	case PartitionKMeans:
+		return "kmeans"
+	case PartitionHash:
+		return "hash"
+	case PartitionRange:
+		return "range"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// PartitionSpec describes how to build a Partitioning. The zero value means
+// k-means with τ = 64 over the spec's features, 12 Lloyd iterations, one
+// shard.
+type PartitionSpec struct {
+	// Strategy selects the grouping algorithm.
+	Strategy PartitionStrategy
+	// Features names the attribute columns to cluster on (deterministic
+	// columns pass through; stochastic attributes contribute their cached
+	// mean columns). Required for KMeans and Range; ignored by Hash.
+	Features []string
+	// GroupSize is the partitioning threshold τ: groups hold at most ~τ
+	// tuples (default 64).
+	GroupSize int
+	// KMeansIters bounds Lloyd iterations (default 12).
+	KMeansIters int
+	// Seed drives k-means initialization and the hash strategy.
+	Seed uint64
+	// Shards is the number of solver shards the groups are split into
+	// (default 1 = the classic single sketch solve). Clamped to the number
+	// of groups.
+	Shards int
+}
+
+func (s PartitionSpec) withDefaults() PartitionSpec {
+	// Non-positive values (possibly from unvalidated client input) take the
+	// defaults: a negative τ would reach the chunk-splitting loops as a
+	// negative slice bound.
+	if s.GroupSize <= 0 {
+		s.GroupSize = 64
+	}
+	if s.KMeansIters <= 0 {
+		s.KMeansIters = 12
+	}
+	if s.Shards <= 0 {
+		s.Shards = 1
+	}
+	return s
+}
+
+// groupKey renders the grouping-relevant spec fields canonically: two specs
+// differing only in Shards share the (expensive) clustering work.
+func (s PartitionSpec) groupKey() string {
+	return fmt.Sprintf("%s|tau=%d|iters=%d|seed=%d|feat=%s",
+		s.Strategy, s.GroupSize, s.KMeansIters, s.Seed,
+		strings.Join(s.Features, ","))
+}
+
+// key renders the spec canonically for the relation's partition cache.
+func (s PartitionSpec) key() string {
+	return fmt.Sprintf("%s|shards=%d", s.groupKey(), s.Shards)
+}
+
+// Partitioning is a cached tuple partitioning of one relation version.
+// It is immutable after construction and safe to share across goroutines.
+type Partitioning struct {
+	// Spec is the (defaulted) spec the partitioning was built from.
+	Spec PartitionSpec
+	// Version is the relation version the partitioning was built against.
+	Version uint64
+
+	// GroupOf maps each tuple to its group id.
+	GroupOf []int
+	// Groups lists tuple indices per group.
+	Groups [][]int
+	// Medoids holds the representative tuple per group.
+	Medoids []int
+
+	// ShardOf maps each tuple to its shard.
+	ShardOf []int
+	// ShardGroups lists the group ids of each shard (contiguous runs of the
+	// group order).
+	ShardGroups [][]int
+}
+
+// NumGroups returns the number of groups.
+func (p *Partitioning) NumGroups() int { return len(p.Groups) }
+
+// NumShards returns the number of shards.
+func (p *Partitioning) NumShards() int { return len(p.ShardGroups) }
+
+// ShardTuples returns the tuple index set of one shard, in tuple order
+// within each group, groups in shard order.
+func (p *Partitioning) ShardTuples(shard int) []int {
+	var out []int
+	for _, g := range p.ShardGroups[shard] {
+		out = append(out, p.Groups[g]...)
+	}
+	return out
+}
+
+// maxCachedPartitionings bounds each of the per-relation partition caches.
+// Specs are influenced by clients (the engine's sketch options come from
+// the request), so the caches cannot be allowed to grow with spec churn;
+// past the cap they reset wholesale — the next request simply recomputes.
+const maxCachedPartitionings = 16
+
+// Partition returns the relation's partitioning for the spec, building and
+// caching it on first use. The cache is keyed by the canonical spec and
+// invalidated by the relation's version counter, so partitioning is computed
+// once per relation version instead of inside every sketch solve. Safe for
+// concurrent use; the (possibly expensive) clustering runs outside the
+// cache lock, so concurrent cache hits never block behind a build. Two
+// goroutines racing on the same uncached spec may both build — wasted work,
+// never a wrong answer (building is a pure function of spec + columns), and
+// the first stored descriptor wins so callers still share one pointer.
+func (r *Relation) Partition(spec PartitionSpec) (*Partitioning, error) {
+	spec = spec.withDefaults()
+	key := spec.key()
+	gkey := spec.groupKey()
+
+	r.partMu.Lock()
+	version := r.version
+	if p, ok := r.parts[key]; ok && p.Version == version {
+		r.partMu.Unlock()
+		return p, nil
+	}
+	gs, ok := r.groupSets[gkey]
+	if !ok || gs.version != version {
+		gs = nil
+	}
+	r.partMu.Unlock()
+
+	if gs == nil {
+		var err error
+		if gs, err = r.buildGroups(spec, version); err != nil {
+			return nil, err
+		}
+	}
+	p := assemblePartitioning(spec, gs, r.n)
+
+	r.partMu.Lock()
+	defer r.partMu.Unlock()
+	if r.parts == nil {
+		r.parts = map[string]*Partitioning{}
+	}
+	if r.groupSets == nil {
+		r.groupSets = map[string]*groupSet{}
+	}
+	// Purge entries of dead versions, then bound both caches (specs are
+	// client-influenced via the engine, so they must not grow unboundedly).
+	for k, v := range r.parts {
+		if v.Version != r.version {
+			delete(r.parts, k)
+		}
+	}
+	for k, v := range r.groupSets {
+		if v.version != r.version {
+			delete(r.groupSets, k)
+		}
+	}
+	if len(r.parts) >= maxCachedPartitionings {
+		clear(r.parts)
+	}
+	if len(r.groupSets) >= maxCachedPartitionings {
+		clear(r.groupSets)
+	}
+	if r.version != version {
+		// The relation mutated while we built: hand back the consistent
+		// snapshot we computed, but do not cache it.
+		return p, nil
+	}
+	if prev, ok := r.parts[key]; ok && prev.Version == version {
+		return prev, nil // a concurrent build won the race
+	}
+	r.parts[key] = p
+	r.groupSets[gkey] = gs
+	return p, nil
+}
+
+// Shard returns a view of the tuples in one shard of the partitioning,
+// reusing the Select machinery so substream identity (and hence correlation
+// structure) is preserved. The partitioning must have been built for this
+// relation.
+func (r *Relation) Shard(p *Partitioning, shard int) (*Relation, error) {
+	if len(p.ShardOf) != r.n {
+		return nil, fmt.Errorf("relation: partitioning covers %d tuples, relation has %d", len(p.ShardOf), r.n)
+	}
+	if shard < 0 || shard >= p.NumShards() {
+		return nil, fmt.Errorf("relation: shard %d out of range [0, %d)", shard, p.NumShards())
+	}
+	return r.Select(func(t int) bool { return p.ShardOf[t] == shard }), nil
+}
+
+// groupSet is the cached clustering level of a partitioning, shared by
+// every shard count over the same grouping spec.
+type groupSet struct {
+	version uint64
+	groupOf []int
+	groups  [][]int
+	medoids []int
+}
+
+// buildGroups runs the clustering strategy — the expensive,
+// shard-count-independent half of a partitioning. It only reads the
+// relation's columns (immutable once added), so it is safe to run without
+// the cache lock.
+func (r *Relation) buildGroups(spec PartitionSpec, version uint64) (*groupSet, error) {
+	gs := &groupSet{version: version}
+	if r.n == 0 {
+		return gs, nil
+	}
+	var err error
+	switch spec.Strategy {
+	case PartitionKMeans:
+		var features [][]float64
+		features, err = r.featureCols(spec.Features)
+		if err == nil {
+			gs.groupOf, gs.groups, gs.medoids = kmeansGroups(features, r.n, spec.GroupSize, spec.KMeansIters, spec.Seed)
+		}
+	case PartitionHash:
+		gs.groupOf, gs.groups, gs.medoids = hashGroups(r.n, spec.GroupSize, spec.Seed)
+	case PartitionRange:
+		var features [][]float64
+		features, err = r.featureCols(spec.Features)
+		if err == nil {
+			gs.groupOf, gs.groups, gs.medoids = rangeGroups(features[0], r.n, spec.GroupSize)
+		}
+	default:
+		err = fmt.Errorf("relation: unknown partition strategy %v", spec.Strategy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return gs, nil
+}
+
+// assemblePartitioning splits the group order into near-equal contiguous
+// shard runs around a (possibly shared) group set.
+func assemblePartitioning(spec PartitionSpec, gs *groupSet, n int) *Partitioning {
+	p := &Partitioning{Spec: spec, Version: gs.version}
+	p.GroupOf, p.Groups, p.Medoids = gs.groupOf, gs.groups, gs.medoids
+
+	shards := spec.Shards
+	if g := len(p.Groups); shards > g {
+		shards = g
+	}
+	p.ShardGroups = make([][]int, shards)
+	for s := 0; s < shards; s++ {
+		lo := s * len(p.Groups) / shards
+		hi := (s + 1) * len(p.Groups) / shards
+		for g := lo; g < hi; g++ {
+			p.ShardGroups[s] = append(p.ShardGroups[s], g)
+		}
+	}
+	p.ShardOf = make([]int, n)
+	for s, groups := range p.ShardGroups {
+		for _, g := range groups {
+			for _, t := range p.Groups[g] {
+				p.ShardOf[t] = s
+			}
+		}
+	}
+	return p
+}
+
+func (r *Relation) featureCols(names []string) ([][]float64, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("relation: partition spec names no feature columns")
+	}
+	out := make([][]float64, len(names))
+	for i, name := range names {
+		col, err := r.Means(name) // det columns pass through, stoch = means
+		if err != nil {
+			return nil, err
+		}
+		out[i] = col
+	}
+	return out, nil
+}
+
+// kmeansGroups clusters tuples on the feature columns using seeded k-means
+// with k = ⌈N/τ⌉ and picks the tuple nearest each centroid as the group
+// representative. Oversized clusters (k-means may collapse clusters when
+// many tuples share identical features) are split into τ-sized chunks;
+// members within a cluster are interchangeable for sketching purposes.
+func kmeansGroups(features [][]float64, n, tau, iters int, seed uint64) (groupOf []int, groups [][]int, medoids []int) {
+	k := (n + tau - 1) / tau
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	dims := len(features)
+	// Normalize features to [0, 1] so distances are scale-free.
+	norm := make([][]float64, dims)
+	for d, col := range features {
+		lo, hi := col[0], col[0]
+		for _, v := range col {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		span := hi - lo
+		if span < 1e-12 {
+			span = 1
+		}
+		nc := make([]float64, n)
+		for i, v := range col {
+			nc[i] = (v - lo) / span
+		}
+		norm[d] = nc
+	}
+	dist2 := func(i int, centroid []float64) float64 {
+		s := 0.0
+		for d := 0; d < dims; d++ {
+			diff := norm[d][i] - centroid[d]
+			s += diff * diff
+		}
+		return s
+	}
+	// Seeded distinct random initialization.
+	st := rng.NewStream(rng.Mix(seed, 0x5ce7c4))
+	centroids := make([][]float64, k)
+	used := map[int]bool{}
+	for c := 0; c < k; c++ {
+		var pick int
+		for {
+			pick = st.IntN(n)
+			if !used[pick] {
+				used[pick] = true
+				break
+			}
+		}
+		centroids[c] = make([]float64, dims)
+		for d := 0; d < dims; d++ {
+			centroids[c][d] = norm[d][pick]
+		}
+	}
+	assign := make([]int, n)
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				if d := dist2(i, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids.
+		counts := make([]int, k)
+		for c := range centroids {
+			for d := range centroids[c] {
+				centroids[c][d] = 0
+			}
+		}
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			counts[c]++
+			for d := 0; d < dims; d++ {
+				centroids[c][d] += norm[d][i]
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at a random point.
+				pick := st.IntN(n)
+				for d := 0; d < dims; d++ {
+					centroids[c][d] = norm[d][pick]
+				}
+				continue
+			}
+			for d := 0; d < dims; d++ {
+				centroids[c][d] /= float64(counts[c])
+			}
+		}
+		if !changed && it > 0 {
+			break
+		}
+	}
+	groupOf = make([]int, n)
+	members := map[int][]int{}
+	for i, c := range assign {
+		members[c] = append(members[c], i)
+	}
+	for c := 0; c < k; c++ {
+		cluster := members[c]
+		if len(cluster) == 0 {
+			continue
+		}
+		for start := 0; start < len(cluster); start += tau {
+			end := start + tau
+			if end > len(cluster) {
+				end = len(cluster)
+			}
+			chunk := cluster[start:end]
+			gid := len(groups)
+			groups = append(groups, chunk)
+			// Medoid: chunk member closest to the centroid.
+			best, bestD := chunk[0], math.Inf(1)
+			for _, i := range chunk {
+				if d := dist2(i, centroids[c]); d < bestD {
+					best, bestD = i, d
+				}
+			}
+			medoids = append(medoids, best)
+			for _, i := range chunk {
+				groupOf[i] = gid
+			}
+		}
+	}
+	return groupOf, groups, medoids
+}
+
+// hashGroups buckets tuples by a seeded hash of the tuple index into
+// ⌈N/τ⌉ buckets, then splits oversized buckets into τ-sized chunks. The
+// first member of each chunk stands as its representative (hash groups
+// carry no similarity structure, so any member is as representative as any
+// other).
+func hashGroups(n, tau int, seed uint64) (groupOf []int, groups [][]int, medoids []int) {
+	k := (n + tau - 1) / tau
+	if k < 1 {
+		k = 1
+	}
+	buckets := make([][]int, k)
+	for t := 0; t < n; t++ {
+		b := int(rng.Mix(seed, 0x9a54c1, uint64(t)) % uint64(k))
+		buckets[b] = append(buckets[b], t)
+	}
+	groupOf = make([]int, n)
+	for _, bucket := range buckets {
+		for start := 0; start < len(bucket); start += tau {
+			end := start + tau
+			if end > len(bucket) {
+				end = len(bucket)
+			}
+			chunk := bucket[start:end]
+			gid := len(groups)
+			groups = append(groups, chunk)
+			medoids = append(medoids, chunk[0])
+			for _, t := range chunk {
+				groupOf[t] = gid
+			}
+		}
+	}
+	return groupOf, groups, medoids
+}
+
+// rangeGroups sorts tuples by the feature column (ties broken by tuple
+// index, so the order is total and deterministic) and cuts the order into
+// consecutive τ-sized groups. The middle member of each run stands as its
+// representative.
+func rangeGroups(col []float64, n, tau int) (groupOf []int, groups [][]int, medoids []int) {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return col[order[a]] < col[order[b]] })
+	groupOf = make([]int, n)
+	for start := 0; start < n; start += tau {
+		end := start + tau
+		if end > n {
+			end = n
+		}
+		chunk := append([]int(nil), order[start:end]...)
+		gid := len(groups)
+		groups = append(groups, chunk)
+		medoids = append(medoids, chunk[len(chunk)/2])
+		for _, t := range chunk {
+			groupOf[t] = gid
+		}
+	}
+	return groupOf, groups, medoids
+}

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"spq/internal/dist"
 	"spq/internal/rng"
@@ -129,6 +130,13 @@ type Relation struct {
 	// version counts schema and means mutations; the engine's plan cache
 	// keys on it so cached plans die when a registered relation changes.
 	version uint64
+
+	// parts caches Partitionings by canonical spec, and groupSets the
+	// shard-count-independent clustering level, each entry tagged with the
+	// version it was built against (see partition.go).
+	partMu    sync.Mutex
+	parts     map[string]*Partitioning
+	groupSets map[string]*groupSet
 }
 
 // Version returns a counter incremented by every mutation of the relation's

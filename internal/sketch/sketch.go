@@ -1,14 +1,29 @@
 // Package sketch implements a SketchRefine-style divide-and-conquer layer
-// over SummarySearch, the scale-up direction the paper names for very large
-// datasets (§6.2.4, §8; SketchRefine is from Brucato et al., VLDB 2018).
+// over the core solvers, the scale-up direction the paper names for very
+// large datasets (§6.2.4, §8; SketchRefine is from Brucato et al., VLDB
+// 2018).
 //
-// The relation is partitioned offline into groups of similar tuples
-// (k-means on the query-relevant attributes, using attribute means for
-// stochastic columns). The SKETCH phase solves the stochastic package query
-// over one medoid tuple per group — a problem with ⌈N/τ⌉ variables instead
-// of N — producing a per-group allotment. The REFINE phase re-solves the
-// query over only the tuples of the groups the sketch selected, a candidate
-// set that is typically a small fraction of N.
+// The relation is partitioned into groups of similar tuples (by default
+// seeded k-means on the query-relevant attributes, using attribute means for
+// stochastic columns; see relation.PartitionSpec for the hash and range
+// alternatives). The SKETCH phase solves the stochastic package query over
+// one medoid tuple per group — a problem with ⌈N/τ⌉ variables instead of
+// N — producing a per-group allotment. The REFINE phase re-solves the query
+// over only the tuples of the groups the sketch selected, a candidate set
+// that is typically a small fraction of N.
+//
+// The sketch phase is a partition-aware pipeline rather than one big medoid
+// solve: the partitioning's groups are split into Options.Shards contiguous
+// shards, each shard's medoid problem is solved independently (concurrently
+// on internal/par when Options.Workers allows), and the per-shard candidate
+// sets are merged under MaxCandidates before the single global refine.
+// Shard solves are deterministic — shard composition depends only on the
+// partitioning, each shard's scenario RNG is derived from
+// rng.Source.Split keyed by the shard id, and the merge consumes shards in
+// order — so any worker count returns bit-identical packages, and a 1-shard
+// run is exactly the classic single-solve sketch. Partitionings are built
+// once and cached on the relation per version (relation.Partition), so
+// repeated queries and cached engine plans never re-cluster.
 //
 // This is a pruning variant of SketchRefine: refine re-optimizes the whole
 // package over the union of sketched groups in one solve (rather than
@@ -18,12 +33,15 @@
 package sketch
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"spq/internal/core"
+	"spq/internal/par"
 	"spq/internal/relation"
 	"spq/internal/rng"
 	"spq/internal/spaql"
@@ -42,6 +60,21 @@ type Options struct {
 	// MaxCandidates caps the refine problem size; when the sketch selects
 	// more, the groups with the largest allotments win (default 4·τ).
 	MaxCandidates int
+	// Strategy selects how tuples are grouped (default k-means).
+	Strategy relation.PartitionStrategy
+	// Shards splits the sketch phase into this many independent medoid
+	// solves over contiguous runs of groups (default 1 = the classic single
+	// sketch solve). The result is identical for any worker count; shard
+	// count changes which candidates the sketch proposes, not the refine
+	// semantics.
+	Shards int
+	// Workers bounds the goroutines running shard solves: 0 or 1 run
+	// sequentially, negative uses one worker per available CPU. Results are
+	// bit-identical for every value.
+	Workers int
+	// Solver evaluates the sketch, refine, and fallback sub-problems
+	// (default core.SummarySearchSolver).
+	Solver core.Solver
 }
 
 func (o *Options) withDefaults() Options {
@@ -49,308 +82,235 @@ func (o *Options) withDefaults() Options {
 	if o != nil {
 		out = *o
 	}
-	if out.GroupSize == 0 {
+	// Non-positive values (the HTTP layer forwards client numbers
+	// unchecked) take the defaults.
+	if out.GroupSize <= 0 {
 		out.GroupSize = 64
 	}
-	if out.KMeansIters == 0 {
+	if out.KMeansIters <= 0 {
 		out.KMeansIters = 12
 	}
-	if out.MaxCandidates == 0 {
+	if out.MaxCandidates <= 0 {
 		out.MaxCandidates = 4 * out.GroupSize
+	}
+	if out.Shards <= 0 {
+		out.Shards = 1
+	}
+	if out.Solver == nil {
+		out.Solver = core.SummarySearchSolver
 	}
 	return out
 }
 
-// Stats reports what the sketch layer did.
+// Key renders every result-relevant sketch option canonically, after
+// defaulting, for the engine's result cache. Workers is excluded (any
+// worker count is bit-identical); the solver is included by name because it
+// changes the answer. Nil receivers key like the zero Options.
+func (o *Options) Key() string {
+	so := o.withDefaults()
+	return fmt.Sprintf("tau=%d,iters=%d,seed=%d,cand=%d,strat=%s,shards=%d,solver=%s",
+		so.GroupSize, so.KMeansIters, so.Seed, so.MaxCandidates, so.Strategy,
+		so.Shards, so.Solver.Name())
+}
+
+// Stats reports what the sketch pipeline did.
 type Stats struct {
 	Groups       int
 	SketchTuples int
 	Candidates   int
-	SketchTime   time.Duration
-	RefineTime   time.Duration
-	SketchObj    float64
-	FellBack     bool // sketch failed; solved on the full relation
+	// Shards is the number of shard solves the sketch phase was split into;
+	// ShardSolves counts those that ran (== Shards unless the pipeline fell
+	// back before sketching), ShardFailures those that found no feasible
+	// shard-local sketch (they contribute no candidates).
+	Shards        int
+	ShardSolves   int
+	ShardFailures int
+	SketchTime    time.Duration
+	RefineTime    time.Duration
+	// SketchObj is the best shard sketch objective in the query's sense
+	// (largest for MAXIMIZE, smallest for MINIMIZE); with a single shard it
+	// is exactly the sketch solve's objective.
+	SketchObj float64
+	FellBack  bool // sketch failed; solved on the full relation
 }
 
-// Partitioning holds a tuple clustering.
-type Partitioning struct {
-	// Group maps each tuple to its group id.
-	Group []int
-	// Members lists tuple indices per group.
-	Members [][]int
-	// Medoids holds the representative tuple per group.
-	Medoids []int
-}
-
-// Partition clusters the relation's tuples on the given feature columns
-// using seeded k-means with k = ⌈N/τ⌉, and picks the tuple nearest each
-// centroid as the group representative.
-func Partition(features [][]float64, n, tau int, iters int, seed uint64) *Partitioning {
-	if n == 0 {
-		return &Partitioning{}
-	}
-	k := (n + tau - 1) / tau
-	if k < 1 {
-		k = 1
-	}
-	if k > n {
-		k = n
-	}
-	dims := len(features)
-	// Normalize features to [0, 1] so distances are scale-free.
-	norm := make([][]float64, dims)
-	for d, col := range features {
-		lo, hi := col[0], col[0]
-		for _, v := range col {
-			lo = math.Min(lo, v)
-			hi = math.Max(hi, v)
-		}
-		span := hi - lo
-		if span < 1e-12 {
-			span = 1
-		}
-		nc := make([]float64, n)
-		for i, v := range col {
-			nc[i] = (v - lo) / span
-		}
-		norm[d] = nc
-	}
-	dist2 := func(i int, centroid []float64) float64 {
-		s := 0.0
-		for d := 0; d < dims; d++ {
-			diff := norm[d][i] - centroid[d]
-			s += diff * diff
-		}
-		return s
-	}
-	// Seeded distinct random initialization.
-	st := rng.NewStream(rng.Mix(seed, 0x5ce7c4))
-	centroids := make([][]float64, k)
-	used := map[int]bool{}
-	for c := 0; c < k; c++ {
-		var pick int
-		for {
-			pick = st.IntN(n)
-			if !used[pick] {
-				used[pick] = true
-				break
-			}
-		}
-		centroids[c] = make([]float64, dims)
-		for d := 0; d < dims; d++ {
-			centroids[c][d] = norm[d][pick]
-		}
-	}
-	assign := make([]int, n)
-	for it := 0; it < iters; it++ {
-		changed := false
-		for i := 0; i < n; i++ {
-			best, bestD := 0, math.Inf(1)
-			for c := 0; c < k; c++ {
-				if d := dist2(i, centroids[c]); d < bestD {
-					best, bestD = c, d
-				}
-			}
-			if assign[i] != best {
-				assign[i] = best
-				changed = true
-			}
-		}
-		// Recompute centroids.
-		counts := make([]int, k)
-		for c := range centroids {
-			for d := range centroids[c] {
-				centroids[c][d] = 0
-			}
-		}
-		for i := 0; i < n; i++ {
-			c := assign[i]
-			counts[c]++
-			for d := 0; d < dims; d++ {
-				centroids[c][d] += norm[d][i]
-			}
-		}
-		for c := 0; c < k; c++ {
-			if counts[c] == 0 {
-				// Re-seed an empty cluster at a random point.
-				pick := st.IntN(n)
-				for d := 0; d < dims; d++ {
-					centroids[c][d] = norm[d][pick]
-				}
-				continue
-			}
-			for d := 0; d < dims; d++ {
-				centroids[c][d] /= float64(counts[c])
-			}
-		}
-		if !changed && it > 0 {
-			break
-		}
-	}
-	p := &Partitioning{Group: make([]int, n)}
-	members := map[int][]int{}
-	for i, c := range assign {
-		members[c] = append(members[c], i)
-	}
-	for c := 0; c < k; c++ {
-		group := members[c]
-		if len(group) == 0 {
-			continue
-		}
-		// Enforce the hard size cap τ: k-means may collapse clusters when
-		// many tuples share identical features; oversized clusters are
-		// split into τ-sized chunks (members within a cluster are
-		// interchangeable for sketching purposes).
-		for start := 0; start < len(group); start += tau {
-			end := start + tau
-			if end > len(group) {
-				end = len(group)
-			}
-			chunk := group[start:end]
-			gid := len(p.Members)
-			p.Members = append(p.Members, chunk)
-			// Medoid: chunk member closest to the centroid.
-			best, bestD := chunk[0], math.Inf(1)
-			for _, i := range chunk {
-				if d := dist2(i, centroids[c]); d < bestD {
-					best, bestD = i, d
-				}
-			}
-			p.Medoids = append(p.Medoids, best)
-			for _, i := range chunk {
-				p.Group[i] = gid
-			}
-		}
-	}
-	return p
-}
-
-// featureColumns picks the clustering features for a query: every
+// featureAttrs picks the clustering features for a query: every
 // deterministic column and every stochastic attribute's mean column that
-// the query references.
-func featureColumns(silp *translate.SILP) ([][]float64, error) {
-	rel := silp.Rel
+// the query references, in constraint order (objective last), deduplicated.
+func featureAttrs(silp *translate.SILP) ([]string, error) {
 	seen := map[string]bool{}
-	var features [][]float64
-	add := func(attr string) error {
-		if seen[attr] {
-			return nil
-		}
-		seen[attr] = true
-		col, err := rel.Means(attr) // det columns pass through, stoch = means
-		if err != nil {
-			return err
-		}
-		features = append(features, col)
-		return nil
-	}
-	collect := func(e spaql.LinExpr) error {
+	var attrs []string
+	collect := func(e spaql.LinExpr) {
 		for _, attr := range e.Attrs() {
-			if err := add(attr); err != nil {
-				return err
+			if !seen[attr] {
+				seen[attr] = true
+				attrs = append(attrs, attr)
 			}
 		}
-		return nil
 	}
 	for _, c := range silp.Query.Constraints {
-		if err := collect(c.Expr); err != nil {
-			return nil, err
-		}
+		collect(c.Expr)
 	}
 	if silp.Query.Objective != nil {
-		if err := collect(silp.Query.Objective.Expr); err != nil {
-			return nil, err
-		}
+		collect(silp.Query.Objective.Expr)
 	}
-	if len(features) == 0 {
+	if len(attrs) == 0 {
 		return nil, errors.New("sketch: query references no attributes to cluster on")
 	}
-	return features, nil
+	return attrs, nil
 }
 
-// Solve evaluates a stochastic package query with the sketch-refine layer
-// around SummarySearch. The returned solution's X indexes the
-// (WHERE-filtered) relation exactly like core.SummarySearch's.
+// allot is one sketched group with its medoid multiplicity.
+type allot struct {
+	group int
+	count float64
+}
+
+// shardResult is the outcome of one shard's sketch solve.
+type shardResult struct {
+	chosen []allot
+	obj    float64
+	failed bool // no feasible shard-local sketch
+}
+
+// Solve evaluates a stochastic package query with the sketch-refine layer.
+// The returned solution's X indexes the (WHERE-filtered) relation exactly
+// like core.SummarySearch's.
 func Solve(q *spaql.Query, rel *relation.Relation, copts *core.Options, sopts *Options) (*core.Solution, *Stats, error) {
-	so := sopts.withDefaults()
 	silp, err := translate.Build(q, rel, nil)
 	if err != nil {
 		return nil, nil, err
 	}
+	return SolveSILP(context.Background(), silp, copts, sopts)
+}
+
+// SolveSILP runs the partition-aware sketch pipeline on an already-lowered
+// problem (the engine calls it with a cached plan's SILP, skipping
+// re-translation). Cancellation of ctx aborts the pipeline promptly.
+func SolveSILP(ctx context.Context, silp *translate.SILP, copts *core.Options, sopts *Options) (*core.Solution, *Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	so := sopts.withDefaults()
 	view := silp.Rel // WHERE applied
 	n := view.N()
 	stats := &Stats{}
 
 	if n <= so.MaxCandidates {
 		// Small enough to solve directly.
-		sol, err := core.SummarySearch(silp, copts)
+		sol, err := so.Solver.Solve(ctx, silp, copts)
 		stats.FellBack = true
 		stats.Candidates = n
 		return sol, stats, err
 	}
 
-	features, err := featureColumns(silp)
+	attrs, err := featureAttrs(silp)
 	if err != nil {
 		return nil, nil, err
 	}
-	part := Partition(features, n, so.GroupSize, so.KMeansIters, so.Seed)
-	stats.Groups = len(part.Members)
+	part, err := view.Partition(relation.PartitionSpec{
+		Strategy:    so.Strategy,
+		Features:    attrs,
+		GroupSize:   so.GroupSize,
+		KMeansIters: so.KMeansIters,
+		Seed:        so.Seed,
+		Shards:      so.Shards,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.Groups = part.NumGroups()
 	stats.SketchTuples = len(part.Medoids)
+	stats.Shards = part.NumShards()
 
-	// SKETCH: solve over the medoids. The medoid view preserves substream
-	// identity, so its stochastic behaviour matches the base tuples.
-	isMedoid := make([]bool, n)
-	for _, m := range part.Medoids {
-		isMedoid[m] = true
+	// Strip the WHERE clause for sub-problems: it is already applied in view,
+	// and medoid/candidate views derive from view.
+	qNoWhere := *silp.Query
+	qNoWhere.Where = nil
+
+	// SKETCH: one independent medoid solve per shard, fanned out on the
+	// worker pool. Each shard's scenario RNG comes from Split keyed by the
+	// shard id; a single shard keeps the caller's seed untouched, so the
+	// 1-shard pipeline is exactly the classic single-solve sketch.
+	var baseOpts core.Options
+	if copts != nil {
+		baseOpts = *copts
 	}
-	groupOfMedoidRow := make([]int, 0, len(part.Medoids))
-	for i := 0; i < n; i++ {
-		if isMedoid[i] {
-			groupOfMedoidRow = append(groupOfMedoidRow, part.Group[i])
+	// Divide the CPU budget between the two parallelism levels: when the
+	// fan-out itself runs shards concurrently, each shard solve gets a
+	// proportionally smaller internal worker pool (scenario generation,
+	// validation) instead of multiplying into Workers×Parallelism
+	// goroutines. Bit-identical either way, so this only shifts load.
+	if workers := par.Workers(so.Workers, stats.Shards); workers > 1 {
+		total := baseOpts.Parallelism
+		if total < 0 {
+			total = runtime.GOMAXPROCS(0)
+		}
+		if total < 1 {
+			total = 1
+		}
+		if per := total / workers; per > 1 {
+			baseOpts.Parallelism = per
+		} else {
+			baseOpts.Parallelism = 1
 		}
 	}
-	sketchRel := view.Select(func(t int) bool { return isMedoid[t] })
-	qNoWhere := *q
-	qNoWhere.Where = nil // already applied in view
+	shardSeeds := []uint64{baseOpts.Seed}
+	if stats.Shards > 1 {
+		srcs := rng.NewSource(baseOpts.Seed).Split(stats.Shards)
+		shardSeeds = make([]uint64, stats.Shards)
+		for s, src := range srcs {
+			shardSeeds[s] = src.Base()
+		}
+	}
+
+	results := make([]shardResult, stats.Shards)
 	sketchStart := time.Now()
-	sketchSILP, err := translate.Build(&qNoWhere, sketchRel, nil)
+	err = par.Ranges(ctx, stats.Shards, so.Workers, func(_, lo, hi int) error {
+		for s := lo; s < hi; s++ {
+			res, err := solveShard(ctx, view, &qNoWhere, part, s, shardSeeds[s], &baseOpts, so.Solver)
+			if err != nil {
+				return fmt.Errorf("sketch: sketch phase (shard %d): %w", s, err)
+			}
+			results[s] = res
+		}
+		return nil
+	})
+	stats.SketchTime = time.Since(sketchStart)
+	stats.ShardSolves = stats.Shards
 	if err != nil {
 		return nil, nil, err
 	}
-	// A medoid stands for its whole group: allow multiplicity up to the
-	// group's aggregate capacity.
-	for row, g := range groupOfMedoidRow {
-		size := float64(len(part.Members[g]))
-		sketchSILP.VarHi[row] = math.Min(sketchSILP.VarHi[row]*size, sketchSILP.VarHi[row]+size*4)
+
+	// Merge per-shard candidate sets in shard order (deterministic for any
+	// worker count).
+	var chosen []allot
+	better := math.Max
+	stats.SketchObj = math.Inf(-1)
+	if !silp.Maximize {
+		better = math.Min
+		stats.SketchObj = math.Inf(1)
 	}
-	sketchSol, err := core.SummarySearch(sketchSILP, copts)
-	stats.SketchTime = time.Since(sketchStart)
-	if err != nil || !sketchSol.Feasible {
-		// Sketch failed: fall back to the full problem.
-		if err != nil && !errors.Is(err, core.ErrInfeasible) {
-			return nil, nil, fmt.Errorf("sketch: sketch phase: %w", err)
+	for _, res := range results {
+		if res.failed {
+			stats.ShardFailures++
+			continue
 		}
+		chosen = append(chosen, res.chosen...)
+		stats.SketchObj = better(stats.SketchObj, res.obj)
+	}
+	if len(chosen) == 0 {
+		// Every shard's sketch failed (or selected nothing): fall back to
+		// the full problem.
 		stats.FellBack = true
+		stats.SketchObj = 0
 		refineStart := time.Now()
-		sol, err := core.SummarySearch(silp, copts)
+		sol, err := so.Solver.Solve(ctx, silp, copts)
 		stats.RefineTime = time.Since(refineStart)
 		stats.Candidates = n
 		return sol, stats, err
 	}
-	stats.SketchObj = sketchSol.Objective
 
-	// REFINE: solve over the tuples of the groups the sketch used, largest
-	// allotments first, capped at MaxCandidates.
-	type allot struct {
-		group int
-		count float64
-	}
-	var chosen []allot
-	for row, x := range sketchSol.X {
-		if x > 0 {
-			chosen = append(chosen, allot{group: groupOfMedoidRow[row], count: x})
-		}
-	}
 	// Order by allotment descending (simple insertion; few groups).
 	for i := 1; i < len(chosen); i++ {
 		for j := i; j > 0 && chosen[j].count > chosen[j-1].count; j-- {
@@ -360,7 +320,7 @@ func Solve(q *spaql.Query, rel *relation.Relation, copts *core.Options, sopts *O
 	inCandidate := make([]bool, n)
 	count := 0
 	for _, a := range chosen {
-		members := part.Members[a.group]
+		members := part.Groups[a.group]
 		if count+len(members) > so.MaxCandidates && count > 0 {
 			continue
 		}
@@ -373,13 +333,14 @@ func Solve(q *spaql.Query, rel *relation.Relation, copts *core.Options, sopts *O
 	}
 	stats.Candidates = count
 
+	// REFINE: one global solve over the tuples of the selected groups.
 	candRel := view.Select(func(t int) bool { return inCandidate[t] })
 	refineStart := time.Now()
 	refineSILP, err := translate.Build(&qNoWhere, candRel, nil)
 	if err != nil {
 		return nil, nil, err
 	}
-	refined, err := core.SummarySearch(refineSILP, copts)
+	refined, err := so.Solver.Solve(ctx, refineSILP, copts)
 	stats.RefineTime = time.Since(refineStart)
 	if err != nil {
 		return nil, nil, err
@@ -401,4 +362,56 @@ func Solve(q *spaql.Query, rel *relation.Relation, copts *core.Options, sopts *O
 		out.X = nil
 	}
 	return &out, stats, nil
+}
+
+// solveShard runs the sketch solve for one shard: the query over the
+// medoids of the shard's groups, each medoid's multiplicity bound inflated
+// to stand for its whole group. A shard whose sketch is infeasible (or
+// selects nothing) reports failure and contributes no candidates; any other
+// solver error aborts the pipeline.
+func solveShard(ctx context.Context, view *relation.Relation, qNoWhere *spaql.Query,
+	part *relation.Partitioning, shard int, seed uint64, baseOpts *core.Options, solver core.Solver) (shardResult, error) {
+
+	n := view.N()
+	isMedoid := make([]bool, n)
+	for _, g := range part.ShardGroups[shard] {
+		isMedoid[part.Medoids[g]] = true
+	}
+	// Medoid rows appear in tuple order, matching the Select view's rows.
+	groupOfMedoidRow := make([]int, 0, len(part.ShardGroups[shard]))
+	for i := 0; i < n; i++ {
+		if isMedoid[i] {
+			groupOfMedoidRow = append(groupOfMedoidRow, part.GroupOf[i])
+		}
+	}
+	sketchRel := view.Select(func(t int) bool { return isMedoid[t] })
+	sketchSILP, err := translate.Build(qNoWhere, sketchRel, nil)
+	if err != nil {
+		return shardResult{}, err
+	}
+	// A medoid stands for its whole group: allow multiplicity up to the
+	// group's aggregate capacity.
+	for row, g := range groupOfMedoidRow {
+		size := float64(len(part.Groups[g]))
+		sketchSILP.VarHi[row] = math.Min(sketchSILP.VarHi[row]*size, sketchSILP.VarHi[row]+size*4)
+	}
+	opts := *baseOpts
+	opts.Seed = seed
+	sol, err := solver.Solve(ctx, sketchSILP, &opts)
+	if err != nil || !sol.Feasible {
+		if err != nil && !errors.Is(err, core.ErrInfeasible) {
+			return shardResult{}, err
+		}
+		return shardResult{failed: true}, nil
+	}
+	res := shardResult{obj: sol.Objective}
+	for row, x := range sol.X {
+		if x > 0 {
+			res.chosen = append(res.chosen, allot{group: groupOfMedoidRow[row], count: x})
+		}
+	}
+	if len(res.chosen) == 0 {
+		res.failed = true
+	}
+	return res, nil
 }

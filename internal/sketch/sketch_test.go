@@ -11,91 +11,6 @@ import (
 	"spq/internal/translate"
 )
 
-func TestPartitionBasics(t *testing.T) {
-	// Two well-separated 1-D clusters.
-	n := 40
-	col := make([]float64, n)
-	for i := range col {
-		if i < 20 {
-			col[i] = float64(i) * 0.01
-		} else {
-			col[i] = 10 + float64(i)*0.01
-		}
-	}
-	p := Partition([][]float64{col}, n, 20, 12, 1)
-	if len(p.Members) < 2 {
-		t.Fatalf("got %d groups, want ≥ 2", len(p.Members))
-	}
-	total := 0
-	for gid, members := range p.Members {
-		total += len(members)
-		med := p.Medoids[gid]
-		found := false
-		for _, m := range members {
-			if m == med {
-				found = true
-			}
-		}
-		if !found {
-			t.Fatalf("medoid %d not a member of group %d", med, gid)
-		}
-	}
-	if total != n {
-		t.Fatalf("groups cover %d tuples, want %d", total, n)
-	}
-	for i, g := range p.Group {
-		inGroup := false
-		for _, m := range p.Members[g] {
-			if m == i {
-				inGroup = true
-			}
-		}
-		if !inGroup {
-			t.Fatalf("tuple %d not in its own group %d", i, g)
-		}
-	}
-	// The two natural clusters should not be merged.
-	if p.Group[0] == p.Group[n-1] {
-		t.Fatal("separated clusters merged")
-	}
-}
-
-func TestPartitionDeterministic(t *testing.T) {
-	col := make([]float64, 30)
-	s := rng.NewStream(3)
-	for i := range col {
-		col[i] = s.Float64()
-	}
-	a := Partition([][]float64{col}, 30, 10, 12, 7)
-	b := Partition([][]float64{col}, 30, 10, 12, 7)
-	for i := range a.Group {
-		if a.Group[i] != b.Group[i] {
-			t.Fatal("partitioning not deterministic for fixed seed")
-		}
-	}
-}
-
-func TestPartitionEdgeCases(t *testing.T) {
-	if p := Partition(nil, 0, 10, 5, 1); len(p.Members) != 0 {
-		t.Fatal("empty input should give empty partitioning")
-	}
-	col := []float64{1, 2, 3}
-	p := Partition([][]float64{col}, 3, 100, 5, 1) // τ larger than n
-	if len(p.Members) != 1 {
-		t.Fatalf("got %d groups, want 1", len(p.Members))
-	}
-	// Constant feature column: still valid (span guard).
-	flat := []float64{5, 5, 5, 5}
-	p2 := Partition([][]float64{flat}, 4, 2, 5, 1)
-	total := 0
-	for _, m := range p2.Members {
-		total += len(m)
-	}
-	if total != 4 {
-		t.Fatal("flat features lost tuples")
-	}
-}
-
 // sketchRelation builds a relation with two value tiers so the sketch can
 // prune confidently: cheap low-gain tuples and pricey high-gain tuples.
 func sketchRelation(t *testing.T, n int) *relation.Relation {

@@ -50,6 +50,7 @@
 package spq
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -136,6 +137,41 @@ func ParseQuery(text string) (*Query, error) { return spaql.Parse(text) }
 // ErrInfeasible reports a query whose deterministic constraints are already
 // unsatisfiable.
 var ErrInfeasible = core.ErrInfeasible
+
+// Partition-aware pipeline re-exports (see internal/relation and
+// internal/core): a Partitioning is a first-class, per-version-cached
+// shard/group descriptor the sketch layer and the engine plan against; a
+// Solver is the seam between problem producers and the algorithms.
+type (
+	// Partitioning is a cached tuple partitioning (shards → groups →
+	// tuples) of one relation version.
+	Partitioning = relation.Partitioning
+	// PartitionSpec describes how to build a Partitioning.
+	PartitionSpec = relation.PartitionSpec
+	// PartitionStrategy selects k-means, hash, or range grouping.
+	PartitionStrategy = relation.PartitionStrategy
+	// Solver is the pluggable solve seam (SummarySearch, Naive, future
+	// parallel branch-and-bound).
+	Solver = core.Solver
+)
+
+// Partition strategies.
+const (
+	// PartitionKMeans clusters similar tuples (the SketchRefine default).
+	PartitionKMeans = relation.PartitionKMeans
+	// PartitionHash buckets tuples by a seeded hash of the index.
+	PartitionHash = relation.PartitionHash
+	// PartitionRange cuts the first feature's value order into runs.
+	PartitionRange = relation.PartitionRange
+)
+
+// Solvers behind the core.Solver seam.
+var (
+	// SummarySearchSolver is the paper's algorithm (the default).
+	SummarySearchSolver = core.SummarySearchSolver
+	// NaiveSolver is the SAA baseline.
+	NaiveSolver = core.NaiveSolver
+)
 
 // Concurrent execution engine re-exports (see internal/engine): a
 // bounded-concurrency session layer with a plan cache and per-query
@@ -272,16 +308,26 @@ type SketchOptions = sketch.Options
 type SketchStats = sketch.Stats
 
 // QuerySketch evaluates an sPaQL query with the SketchRefine-style
-// divide-and-conquer layer around SummarySearch: cluster tuples into groups,
-// solve the query over group representatives (the sketch), then re-solve
-// over the tuples of the selected groups (the refine). Intended for
-// relations too large for direct evaluation; see internal/sketch.
+// divide-and-conquer pipeline: cluster tuples into groups (cached on the
+// relation per version), solve the query over group representatives (the
+// sketch — split across SketchOptions.Shards independent solves, run
+// concurrently by SketchOptions.Workers, bit-identical for any worker
+// count), then re-solve over the tuples of the selected groups (the
+// refine). Intended for relations too large for direct evaluation; see
+// internal/sketch.
+//
+// Partitionings are cached on the (WHERE-filtered) relation per version.
+// Queries with no WHERE clause therefore never re-cluster across calls; a
+// WHERE-bearing query builds a fresh filtered view — and with it a fresh
+// clustering — each call, because DB keeps no plan cache by design. For
+// repeated WHERE-bearing sketch queries use the engine (method "sketch"),
+// whose plan cache keeps the view, and hence the partitioning, alive.
 func (db *DB) QuerySketch(text string, opts *Options, sopts *SketchOptions) (*Result, *SketchStats, error) {
 	q, silp, err := db.prepare(text)
 	if err != nil {
 		return nil, nil, err
 	}
-	sol, stats, err := sketch.Solve(q, silp.Rel, opts, sopts)
+	sol, stats, err := sketch.SolveSILP(context.Background(), silp, opts, sopts)
 	if err != nil {
 		return nil, nil, err
 	}
