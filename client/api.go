@@ -1,0 +1,253 @@
+package client
+
+import (
+	"fmt"
+	"time"
+)
+
+// This file is the v1 wire contract: the JSON types exchanged by the
+// /v1/queries endpoints. It is shared by the server (internal/engine
+// marshals these) and the Client, so the two can never drift. Everything
+// here is plain data — no behaviour beyond Error.
+
+// Stable error codes of the v1 error envelope. Codes are part of the API
+// contract: clients may switch on them; messages are human-readable and may
+// change.
+const (
+	// CodeBadRequest reports a malformed request body or parameters.
+	CodeBadRequest = "bad_request"
+	// CodeInvalidQuery reports an sPaQL query that fails to parse,
+	// references an unknown table, cannot be translated, or is
+	// deterministically infeasible.
+	CodeInvalidQuery = "invalid_query"
+	// CodeUnknownMethod reports an unrecognized evaluation method.
+	CodeUnknownMethod = "unknown_method"
+	// CodeNotFound reports an unknown route or job id.
+	CodeNotFound = "not_found"
+	// CodeMethodNotAllowed reports an HTTP method the route does not serve.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeOverloaded reports admission rejection (HTTP 429); the response
+	// carries Retry-After.
+	CodeOverloaded = "overloaded"
+	// CodeTimeout reports a query that exceeded its evaluation deadline.
+	CodeTimeout = "timeout"
+	// CodeCancelled reports a query cancelled by the caller.
+	CodeCancelled = "cancelled"
+	// CodeInternal reports a server-side evaluation failure (retryable).
+	CodeInternal = "internal"
+)
+
+// Error is the structured error of the v1 API, delivered inside an
+// ErrorEnvelope for HTTP-level failures and inline on failed Jobs. It
+// implements the error interface so the Client returns it directly.
+type Error struct {
+	// Code is one of the stable Code* constants.
+	Code string `json:"code"`
+	// Message is a human-readable description.
+	Message string `json:"message"`
+	// RetryAfterMS suggests a retry delay for code "overloaded".
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	// HTTPStatus is the HTTP status the error travelled with (client-side
+	// only; not serialized).
+	HTTPStatus int `json:"-"`
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("spqd: %s: %s", e.Code, e.Message)
+}
+
+// ErrorEnvelope wraps every non-2xx v1 response body.
+type ErrorEnvelope struct {
+	Error *Error `json:"error"`
+}
+
+// SolveOptions are the typed evaluation options of a v1 request (the
+// flat-field bag of the legacy /query body, structured). Zero values take
+// the server's defaults; see core.Options for field semantics.
+type SolveOptions struct {
+	Seed           uint64  `json:"seed,omitempty"`
+	ValidationSeed uint64  `json:"validation_seed,omitempty"`
+	ValidationM    int     `json:"validation_m,omitempty"`
+	InitialM       int     `json:"initial_m,omitempty"`
+	IncrementM     int     `json:"increment_m,omitempty"`
+	MaxM           int     `json:"max_m,omitempty"`
+	FixedZ         int     `json:"fixed_z,omitempty"`
+	IncrementZ     int     `json:"increment_z,omitempty"`
+	Epsilon        float64 `json:"epsilon,omitempty"`
+	MaxCSAIters    int     `json:"max_csa_iters,omitempty"`
+	Parallelism    int     `json:"parallelism,omitempty"`
+}
+
+// SketchOptions tune the partition-aware SketchRefine pipeline for method
+// "sketch". Zero values take the server's defaults.
+type SketchOptions struct {
+	GroupSize     int    `json:"group_size,omitempty"`
+	Shards        int    `json:"shards,omitempty"`
+	MaxCandidates int    `json:"max_candidates,omitempty"`
+	Seed          uint64 `json:"seed,omitempty"`
+	// Strategy selects the grouping: "" or "kmeans", "hash", "range".
+	Strategy string `json:"strategy,omitempty"`
+}
+
+// SubmitRequest is the body of POST /v1/queries (and one element of a
+// batch submission).
+type SubmitRequest struct {
+	// Query is the sPaQL text.
+	Query string `json:"query"`
+	// Method selects the algorithm: "" or "summarysearch" (default),
+	// "naive", or "sketch".
+	Method string `json:"method,omitempty"`
+	// TimeoutMS bounds the evaluation in milliseconds (0 = server default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Options tune the evaluation; nil uses server defaults.
+	Options *SolveOptions `json:"options,omitempty"`
+	// Sketch tunes the sketch pipeline for method "sketch".
+	Sketch *SketchOptions `json:"sketch,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/queries:batch.
+type BatchRequest struct {
+	Queries []SubmitRequest `json:"queries"`
+}
+
+// BatchItem is one outcome of a batch submission: exactly one of Job and
+// Error is set. A rejected item does not abort the rest of the batch.
+type BatchItem struct {
+	Job   *Job   `json:"job,omitempty"`
+	Error *Error `json:"error,omitempty"`
+}
+
+// BatchResponse answers POST /v1/queries:batch, one item per submitted
+// query, in request order.
+type BatchResponse struct {
+	Jobs []BatchItem `json:"jobs"`
+}
+
+// JobState is the lifecycle state of an async query job.
+type JobState string
+
+// The job state machine: queued → running → {succeeded, failed, cancelled}.
+// A job answered from the server's result cache may skip running and go
+// straight from queued to succeeded.
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobSucceeded JobState = "succeeded"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobSucceeded || s == JobFailed || s == JobCancelled
+}
+
+// Progress is one streamed progress event: a snapshot of the anytime
+// algorithm after one optimize/validate round (see core.Progress).
+type Progress struct {
+	// Seq is the job's monotone event sequence number; poll with
+	// since=<seq> to receive only newer events.
+	Seq int `json:"seq"`
+	// Phase labels composite pipelines: "" for a direct solve,
+	// "sketch/shard<i>" / "refine" / "fallback" inside method "sketch".
+	Phase string `json:"phase,omitempty"`
+	// Iteration counts optimize/validate rounds within the phase (1-based).
+	Iteration int `json:"iteration"`
+	// M and Z are the round's scenario/summary counts (Z is 0 for naive).
+	M int `json:"m"`
+	Z int `json:"z,omitempty"`
+	// Feasible and Objective are the round's validation verdict.
+	Feasible  bool    `json:"feasible"`
+	Objective float64 `json:"objective"`
+	// Improved reports whether this round's package became the incumbent;
+	// BestFeasible/BestObjective describe the incumbent after the round.
+	Improved      bool    `json:"improved,omitempty"`
+	BestFeasible  bool    `json:"best_feasible"`
+	BestObjective float64 `json:"best_objective"`
+	// PackageSize is Σ multiplicities of the round's candidate package.
+	PackageSize float64 `json:"package_size,omitempty"`
+	// ElapsedMS is wall-clock time since the solve started.
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// PackageTuple is one package member: a base-relation tuple index and its
+// multiplicity.
+type PackageTuple struct {
+	Tuple int `json:"tuple"`
+	Count int `json:"count"`
+}
+
+// SketchInfo reports what the sketch pipeline did for a method=sketch job.
+type SketchInfo struct {
+	Groups     int  `json:"groups"`
+	Shards     int  `json:"shards"`
+	Candidates int  `json:"candidates"`
+	FellBack   bool `json:"fell_back"`
+}
+
+// QueryResult is the final result of a succeeded job.
+type QueryResult struct {
+	Feasible    bool           `json:"feasible"`
+	Objective   float64        `json:"objective"`
+	EpsUpper    float64        `json:"eps_upper,omitempty"`
+	Surpluses   []float64      `json:"surpluses,omitempty"`
+	M           int            `json:"m"`
+	Z           int            `json:"z,omitempty"`
+	Iterations  int            `json:"iterations"`
+	PackageSize float64        `json:"package_size"`
+	Package     []PackageTuple `json:"package"`
+	// PlanCacheHit / ResultCacheHit report the server's caches; a
+	// result-cache hit means no solve ran (and no progress was streamed).
+	PlanCacheHit   bool        `json:"plan_cache_hit,omitempty"`
+	ResultCacheHit bool        `json:"result_cache_hit,omitempty"`
+	Sketch         *SketchInfo `json:"sketch,omitempty"`
+	// WaitMS is the time the query spent waiting for a solve slot; SolveMS
+	// the evaluation wall-clock.
+	WaitMS  int64 `json:"wait_ms"`
+	SolveMS int64 `json:"solve_ms"`
+}
+
+// Job is the resource served by GET /v1/queries/{id}: submission echo,
+// lifecycle state, latest progress, the best-so-far package, and — once
+// terminal — the result or error.
+type Job struct {
+	ID     string   `json:"id"`
+	State  JobState `json:"state"`
+	Query  string   `json:"query"`
+	Method string   `json:"method,omitempty"`
+	// Seq is the job's current sequence number; it advances on every state
+	// change and progress event.
+	Seq        int        `json:"seq"`
+	CreatedAt  time.Time  `json:"created_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	// Progress is the latest progress event; Events holds the events newer
+	// than the poll's since parameter (server-side bounded history).
+	Progress *Progress  `json:"progress,omitempty"`
+	Events   []Progress `json:"events,omitempty"`
+	// BestFeasible/BestObjective/BestPackage expose the incumbent package
+	// while the job runs (and after), mapped to base-relation tuples.
+	BestFeasible  bool           `json:"best_feasible,omitempty"`
+	BestObjective float64        `json:"best_objective,omitempty"`
+	BestPackage   []PackageTuple `json:"best_package,omitempty"`
+	// Result is set once the job succeeded; Error once it failed or was
+	// cancelled.
+	Result *QueryResult `json:"result,omitempty"`
+	Error  *Error       `json:"error,omitempty"`
+}
+
+// ListResponse answers GET /v1/queries.
+type ListResponse struct {
+	Jobs []*Job `json:"jobs"`
+}
+
+// StatsJobs is the job-manager slice of GET /stats (the engine serves the
+// full payload; these fields ride alongside the cache and admission
+// counters).
+type StatsJobs struct {
+	JobsSubmitted int64 `json:"jobs_submitted"`
+	JobsRunning   int64 `json:"jobs_running"`
+	JobsCompleted int64 `json:"jobs_completed"`
+	JobsCancelled int64 `json:"jobs_cancelled"`
+	JobsEvicted   int64 `json:"jobs_evicted"`
+}

@@ -1,0 +1,52 @@
+package client_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+
+	"spq/client"
+	"spq/internal/engine"
+)
+
+// ExampleClient submits a stochastic package query to an (in-process) spqd
+// and streams its progress to completion. Against a real deployment,
+// replace the httptest server with client.New("http://host:8723").
+func ExampleClient() {
+	// An in-process stand-in for a running spqd.
+	eng := engine.New(newStocks(15), &engine.Options{ResultCacheSize: -1})
+	srv := httptest.NewServer(eng.Handler())
+	defer srv.Close()
+
+	c, err := client.New(srv.URL)
+	if err != nil {
+		panic(err)
+	}
+	ctx := context.Background()
+
+	job, err := c.Submit(ctx, client.SubmitRequest{
+		Query: `SELECT PACKAGE(*) FROM stocks SUCH THAT
+			SUM(price) <= 300 AND
+			SUM(gain) >= -5 WITH PROBABILITY >= 0.8
+			MAXIMIZE EXPECTED SUM(gain)`,
+		Options: &client.SolveOptions{Seed: 1, ValidationM: 1500, InitialM: 10, MaxM: 60},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// Stream replays every progress event (iteration, M/Z, best objective)
+	// and returns the terminal job.
+	iterations := 0
+	final, err := c.Stream(ctx, job.ID, func(p client.Progress) { iterations++ })
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("state:", final.State)
+	fmt.Println("feasible:", final.Result.Feasible)
+	fmt.Println("streamed progress:", iterations > 0)
+	// Output:
+	// state: succeeded
+	// feasible: true
+	// streamed progress: true
+}

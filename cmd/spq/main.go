@@ -9,9 +9,18 @@
 //	spq -workload galaxy -paper-query Q3 -method naive
 //	spq -csv trades.csv -query 'SELECT PACKAGE(*) FROM trades SUCH THAT SUM(price) <= 100 MAXIMIZE SUM(price)'
 //	spq -workload tpch -paper-query Q1 -explain
+//
+// With -server the query is not evaluated in-process: it is submitted to a
+// running spqd through the v1 async API (spq/client), streaming progress
+// (with -trace) and printing the remote result. The spqd must have the
+// query's table loaded (e.g. the same -workload):
+//
+//	spqd -workload portfolio -n 200 &
+//	spq -workload portfolio -paper-query Q1 -n 200 -server http://localhost:8723
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +29,7 @@ import (
 	"strings"
 
 	"spq"
+	"spq/client"
 	"spq/internal/workload"
 )
 
@@ -41,18 +51,19 @@ func main() {
 		explain    = flag.Bool("explain", false, "print the query plan instead of solving")
 		trace      = flag.Bool("trace", false, "print the optimize/validate iteration history")
 		showRows   = flag.Int("rows", 10, "package rows to print")
+		server     = flag.String("server", "", "submit to a remote spqd at this base URL (v1 async API) instead of solving in-process")
 	)
 	flag.Parse()
 
 	if err := run(*queryText, *queryFile, *csvPath, *wname, *paperQuery, *list, *n,
-		*seed, *method, *valM, *initialM, *maxM, *fixedZ, *explain, *trace, *showRows); err != nil {
+		*seed, *method, *valM, *initialM, *maxM, *fixedZ, *explain, *trace, *showRows, *server); err != nil {
 		fmt.Fprintln(os.Stderr, "spq:", err)
 		os.Exit(1)
 	}
 }
 
 func run(queryText, queryFile, csvPath, wname, paperQuery string, list bool, n int,
-	seed uint64, method string, valM, initialM, maxM, fixedZ int, explain, trace bool, showRows int) error {
+	seed uint64, method string, valM, initialM, maxM, fixedZ int, explain, trace bool, showRows int, server string) error {
 
 	db := spq.NewDB()
 	var inst *workload.Instance
@@ -135,6 +146,13 @@ func run(queryText, queryFile, csvPath, wname, paperQuery string, list bool, n i
 		return fmt.Errorf("no query: provide -query, -query-file or -paper-query")
 	}
 
+	if server != "" {
+		if explain {
+			return fmt.Errorf("-explain is local-only; drop -server")
+		}
+		return runRemote(server, text, method, seed, valM, initialM, maxM, fixedZ, trace, showRows)
+	}
+
 	if explain {
 		out, err := db.Explain(text, initialM)
 		if err != nil {
@@ -182,6 +200,82 @@ func run(queryText, queryFile, csvPath, wname, paperQuery string, list bool, n i
 		fmt.Print(res.RenderHistory())
 	}
 	printPackage(res, showRows)
+	return nil
+}
+
+// runRemote submits the query to a running spqd through the v1 async API
+// and renders the remote job: progress events stream as they happen (with
+// -trace), then the final package.
+func runRemote(server, text, method string, seed uint64, valM, initialM, maxM, fixedZ int, trace bool, showRows int) error {
+	c, err := client.New(server)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	job, err := c.Submit(ctx, client.SubmitRequest{
+		Query:  text,
+		Method: method,
+		Options: &client.SolveOptions{
+			Seed:        seed,
+			ValidationM: valM,
+			InitialM:    initialM,
+			IncrementM:  initialM,
+			MaxM:        maxM,
+			FixedZ:      fixedZ,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("submitted %s to %s\n", job.ID, server)
+	final, err := c.Stream(ctx, job.ID, func(p client.Progress) {
+		if trace {
+			phase := p.Phase
+			if phase == "" {
+				phase = "solve"
+			}
+			fmt.Printf("  %-14s iter %-3d M=%-5d Z=%-3d feasible=%-5v objective=%.6g best=%.6g (%dms)\n",
+				phase, p.Iteration, p.M, p.Z, p.Feasible, p.Objective, p.BestObjective, p.ElapsedMS)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if err := final.Err(); err != nil {
+		return err
+	}
+	r := final.Result
+	status := "INFEASIBLE"
+	if r.Feasible {
+		status = "feasible"
+	}
+	fmt.Printf("package: %s, %d distinct tuples, size %.0f, objective %.6g (M=%d", status, len(r.Package), r.PackageSize, r.Objective, r.M)
+	if r.Z > 0 {
+		fmt.Printf(", Z=%d", r.Z)
+	}
+	fmt.Println(")")
+	fmt.Printf("server: wait %dms, solve %dms, %d iterations", r.WaitMS, r.SolveMS, r.Iterations)
+	if r.ResultCacheHit {
+		fmt.Print(", result-cache hit")
+	} else if r.PlanCacheHit {
+		fmt.Print(", plan-cache hit")
+	}
+	fmt.Println()
+	for k, surplus := range r.Surpluses {
+		fmt.Printf("constraint %d p-surplus: %+.4f\n", k+1, surplus)
+	}
+	if len(r.Package) == 0 {
+		fmt.Println("(empty package)")
+		return nil
+	}
+	fmt.Printf("%-8s %-6s\n", "tuple", "count")
+	for i, pt := range r.Package {
+		if i >= showRows {
+			fmt.Printf("... (%d more rows)\n", len(r.Package)-showRows)
+			break
+		}
+		fmt.Printf("%-8d %-6d\n", pt.Tuple, pt.Count)
+	}
 	return nil
 }
 

@@ -10,13 +10,26 @@
 //	  "validation_m": 2000, "max_m": 60, "fixed_z": 1
 //	}'
 //
-// Admission control (-max-inflight, -max-queue) bounds concurrent solves;
-// excess load is rejected with HTTP 429. Every query is bounded by -timeout
-// unless its request carries a tighter timeout_ms. Identical deterministic
-// requests are answered from a result LRU (-result-cache) without solving;
-// "method": "sketch" (with optional group_size/shards/max_candidates)
-// selects the partition-parallel SketchRefine pipeline. GET /stats reports
-// admission-queue depth, both caches, and shard counters in one payload.
+// Queries run through two surfaces: the legacy synchronous POST /query,
+// and the versioned async API — POST /v1/queries submits a job, GET
+// /v1/queries/{id} polls it (with ?since/?wait_ms progress streaming),
+// DELETE cancels, POST /v1/queries:batch submits many (see DESIGN.md "API
+// v1" and the spq/client Go client):
+//
+//	curl -s -X POST localhost:8723/v1/queries -d '{
+//	  "query": "...", "options": {"validation_m": 2000, "max_m": 60}
+//	}'
+//	curl -s 'localhost:8723/v1/queries/q-1?wait_ms=5000'
+//
+// Admission control (-max-inflight, -max-queue) bounds concurrent solves
+// and -max-jobs the active async jobs; excess load is rejected with HTTP
+// 429 (Retry-After set). Every query is bounded by -timeout unless its
+// request carries a tighter timeout_ms; -job-history finished jobs stay
+// pollable. Identical deterministic requests are answered from a result
+// LRU (-result-cache) without solving; "method": "sketch" (with optional
+// group_size/shards/max_candidates) selects the partition-parallel
+// SketchRefine pipeline. GET /stats reports admission-queue depth, both
+// caches, shard counters, and the job-manager counters in one payload.
 package main
 
 import (
@@ -53,18 +66,20 @@ func main() {
 		resultCache = flag.Int("result-cache", 256, "result cache capacity in entries (negative disables)")
 		timeout     = flag.Duration("timeout", 60*time.Second, "default per-query timeout")
 		parallelism = flag.Int("parallelism", 0, "per-query worker count (0 = one per CPU)")
+		maxJobs     = flag.Int("max-jobs", 0, "max active async jobs (0 = max-inflight + max-queue)")
+		jobHistory  = flag.Int("job-history", 0, "finished jobs kept pollable (0 = 64, negative disables)")
 	)
 	flag.Parse()
 
 	if err := run(*addr, *workloads, *csvPath, *n, *seed, *meansM,
-		*maxInFlight, *maxQueue, *cacheSize, *resultCache, *timeout, *parallelism); err != nil {
+		*maxInFlight, *maxQueue, *cacheSize, *resultCache, *timeout, *parallelism, *maxJobs, *jobHistory); err != nil {
 		fmt.Fprintln(os.Stderr, "spqd:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, workloads, csvPath string, n int, seed uint64, meansM,
-	maxInFlight, maxQueue, cacheSize, resultCache int, timeout time.Duration, parallelism int) error {
+	maxInFlight, maxQueue, cacheSize, resultCache int, timeout time.Duration, parallelism, maxJobs, jobHistory int) error {
 
 	db := spq.NewDB()
 	db.MeansM = meansM
@@ -122,6 +137,8 @@ func run(addr, workloads, csvPath string, n int, seed uint64, meansM,
 		ResultCacheSize: resultCache,
 		DefaultTimeout:  timeout,
 		Parallelism:     parallelism,
+		MaxJobs:         maxJobs,
+		JobHistory:      jobHistory,
 	})
 
 	srv := &http.Server{

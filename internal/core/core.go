@@ -66,6 +66,12 @@ type Options struct {
 	// functions of their (attribute, tuple, scenario) coordinates, and the
 	// engine shards work along those coordinates.
 	Parallelism int
+	// Progress, when non-nil, receives one report per validated candidate
+	// package while the evaluation runs (see Progress). The callback must be
+	// cheap and safe for concurrent use: the sketch pipeline's shard solves
+	// invoke it concurrently. It observes the evaluation without influencing
+	// it, so it is excluded from Key().
+	Progress func(Progress)
 }
 
 func (o *Options) withDefaults() Options {
@@ -117,9 +123,10 @@ func (o *Options) withDefaults() Options {
 
 // Key renders every result-relevant option field canonically, after
 // defaulting, so two Options values that evaluate identically share one key.
-// The engine's result cache builds its keys from it. Parallelism is
-// deliberately excluded: parallel evaluation is bit-identical to sequential
-// for any worker count, so it cannot change a result. Time budgets
+// The engine's result cache builds its keys from it. Parallelism and
+// Progress are deliberately excluded: parallel evaluation is bit-identical
+// to sequential for any worker count, and the progress callback only
+// observes, so neither can change a result. Time budgets
 // (TimeLimit, SolverTime, SolverNodes) are included: when a budget binds,
 // the result depends on it. Nil receivers key like the zero Options.
 func (o *Options) Key() string {

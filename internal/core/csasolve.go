@@ -208,9 +208,11 @@ func (r *runner) csaSolve(sets []*scenario.Set, objSet *scenario.Set, x0 []float
 			st.histories[ck] = append(st.histories[ck], alphaObs{alpha: st.alphas[ck], surplus: val.Surpluses[ck]})
 		}
 		cand := r.asSolution(x, val, mCount, zCount, nil)
-		if better(silp, cand, best) {
+		improved := better(silp, cand, best)
+		if improved {
 			best = cand
 		}
+		r.progress(len(*iters), mCount, zCount, val, cand.X, improved, best)
 		// Termination: feasible and (1+ε)-approximate. For probability
 		// objectives require at least one CSA solve so the objective has
 		// actually been optimized (the unconstrained x(0) ignores it).

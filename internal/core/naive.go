@@ -66,9 +66,11 @@ func NaiveCtx(ctx context.Context, silp *translate.SILP, o *Options) (*Solution,
 			iter.Surpluses = val.Surpluses
 			sol.Iterations = append(sol.Iterations, iter)
 			cand := r.asSolution(x, val, m, 0, sol.Iterations)
-			if better(silp, cand, best) {
+			improved := better(silp, cand, best)
+			if improved {
 				best = cand
 			}
+			r.progress(len(sol.Iterations), m, 0, val, cand.X, improved, best)
 			if val.Feasible {
 				best.TotalTime = time.Since(r.start)
 				return best, nil

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"time"
+
+	"spq/internal/relation"
+)
+
+// Progress is one per-iteration progress report of an anytime evaluation.
+// SummarySearch and Naïve emit one report per *validated* candidate package
+// (each optimize/validate round that produced a package), fed from the same
+// state the Iteration history records; the sketch pipeline forwards its
+// sub-solves' reports with Phase set. Consumers see the algorithm converge
+// while it runs: the engine's job manager turns these into the streamed
+// progress of the v1 async API.
+//
+// All slices and the relation are shared with the running evaluation and
+// must be treated as read-only.
+type Progress struct {
+	// Phase labels the pipeline stage for composite evaluations: "" for a
+	// direct SummarySearch/Naïve solve; "sketch/shard<i>", "refine", or
+	// "fallback" inside the sketch pipeline.
+	Phase string
+	// Iteration counts optimize/validate rounds so far in this solve,
+	// 1-based and monotone within a Phase.
+	Iteration int
+	// M and Z are the scenario/summary counts of this round (Z is 0 for
+	// Naïve).
+	M, Z int
+	// Feasible, Objective, EpsUpper, and Surpluses are this round's
+	// out-of-sample validation verdict (§3.2).
+	Feasible  bool
+	Objective float64
+	EpsUpper  float64
+	Surpluses []float64
+	// Maximize is the query's objective sense, so consumers can compare
+	// candidates across phases (a sketch pipeline's shards each track
+	// their own incumbent; Improved/Best* below are phase-local).
+	Maximize bool
+	// Improved reports whether this round's candidate became the incumbent;
+	// BestFeasible/BestObjective describe the incumbent after this round.
+	Improved      bool
+	BestFeasible  bool
+	BestObjective float64
+	// X is this round's candidate package, indexed like Rel; Rel is the
+	// relation view the evaluation runs over (Rel.OrigIndex maps rows to
+	// base-relation tuples, composing through WHERE filters and sketch
+	// medoid views).
+	X   []float64
+	Rel *relation.Relation
+	// Elapsed is the wall-clock time since the evaluation started.
+	Elapsed time.Duration
+}
+
+// progress emits one report when a callback is installed. val may carry the
+// iteration's validation verdict; best is the incumbent after the round.
+func (r *runner) progress(iter, m, z int, val *Validation, x []float64, improved bool, best *Solution) {
+	if r.opts.Progress == nil {
+		return
+	}
+	p := Progress{
+		Iteration: iter,
+		M:         m,
+		Z:         z,
+		Improved:  improved,
+		Maximize:  r.silp.Maximize,
+		X:         x,
+		Rel:       r.silp.Rel,
+		Elapsed:   time.Since(r.start),
+	}
+	if val != nil {
+		p.Feasible = val.Feasible
+		p.Objective = val.Objective
+		p.EpsUpper = val.EpsUpper
+		p.Surpluses = val.Surpluses
+	}
+	if best != nil {
+		p.BestFeasible = best.Feasible
+		p.BestObjective = best.Objective
+	}
+	r.opts.Progress(p)
+}

@@ -96,6 +96,7 @@ func SummarySearchCtx(ctx context.Context, silp *translate.SILP, o *Options) (*S
 		}
 		sol := r.asSolution(x0, val, 0, 0, iters)
 		sol.TotalTime = time.Since(r.start)
+		r.progress(1, 0, 0, val, sol.X, true, sol)
 		return sol, nil
 	}
 

@@ -65,6 +65,10 @@ var ErrOverloaded = errors.New("engine: overloaded, admission queue full")
 // to 500.
 var ErrBadQuery = errors.New("engine: bad query")
 
+// ErrUnknownMethod wraps ErrBadQuery for unrecognized evaluation methods,
+// so the HTTP layer can report the dedicated "unknown_method" error code.
+var ErrUnknownMethod = fmt.Errorf("%w: unknown method", ErrBadQuery)
+
 // Options tune the engine.
 type Options struct {
 	// MaxInFlight is the number of queries that may solve concurrently
@@ -88,6 +92,14 @@ type Options struct {
 	// Parallelism is the per-query worker count handed to core.Options
 	// when the request does not set one (default: one per available CPU).
 	Parallelism int
+	// MaxJobs bounds the async jobs that may be active (queued or running)
+	// at once; Submit beyond it fails with ErrOverloaded (default
+	// MaxInFlight+MaxQueue, which preserves the synchronous admission
+	// behaviour for the legacy /query shim).
+	MaxJobs int
+	// JobHistory is the number of finished jobs retained for polling after
+	// completion (default 64; negative retains none).
+	JobHistory int
 }
 
 func (o *Options) withDefaults() Options {
@@ -115,6 +127,14 @@ func (o *Options) withDefaults() Options {
 	if out.Parallelism == 0 {
 		out.Parallelism = -1 // core: one worker per CPU
 	}
+	if out.MaxJobs <= 0 {
+		out.MaxJobs = out.MaxInFlight + out.MaxQueue
+	}
+	if out.JobHistory == 0 {
+		out.JobHistory = 64
+	} else if out.JobHistory < 0 {
+		out.JobHistory = 0
+	}
 	return out
 }
 
@@ -134,6 +154,14 @@ type Request struct {
 	// Sketch tunes the sketch pipeline when Method is "sketch"; nil uses
 	// sketch defaults. Workers 0 inherits the engine's parallelism.
 	Sketch *sketch.Options
+	// Progress, when non-nil, receives per-iteration reports while the
+	// solve runs (installed into core.Options; see core.Progress). It never
+	// fires for result-cache hits, where no solve runs.
+	Progress func(core.Progress)
+	// onAdmit, when non-nil, is called exactly once when the query acquires
+	// a solve slot (after any admission wait). The job manager uses it to
+	// move jobs from queued to running.
+	onAdmit func()
 }
 
 // Result is the outcome of an engine query. Cached results are shared
@@ -266,6 +294,16 @@ type Stats struct {
 	MaxQueue       int   `json:"max_queue"`
 	PlanCacheLen   int   `json:"plan_cache_len"`
 	ResultCacheLen int   `json:"result_cache_len"`
+	// Job-manager counters (the v1 async API; the legacy /query shim also
+	// runs through it). JobsRunning is a gauge of jobs currently in the
+	// running state; JobsCompleted counts terminal succeeded+failed jobs
+	// (cancelled ones count under JobsCancelled); JobsEvicted counts
+	// finished jobs dropped from the bounded history.
+	JobsSubmitted int64 `json:"jobs_submitted"`
+	JobsRunning   int64 `json:"jobs_running"`
+	JobsCompleted int64 `json:"jobs_completed"`
+	JobsCancelled int64 `json:"jobs_cancelled"`
+	JobsEvicted   int64 `json:"jobs_evicted"`
 }
 
 // Engine is a concurrent sPaQL query-execution engine over a catalog of
@@ -291,17 +329,33 @@ type Engine struct {
 	mu      sync.Mutex
 	plans   *lruCache
 	results *lruCache
+
+	// Async job manager state (jobs.go). jobList holds every tracked job in
+	// submission order; jobFinished counts the terminal ones, bounded by
+	// Options.JobHistory via eviction.
+	jobsMu      sync.Mutex
+	jobsByID    map[string]*Job
+	jobList     []*Job
+	jobFinished int
+	jobSeq      atomic.Int64
+
+	jobsSubmitted atomic.Int64
+	jobsRunning   atomic.Int64
+	jobsCompleted atomic.Int64
+	jobsCancelled atomic.Int64
+	jobsEvicted   atomic.Int64
 }
 
 // New creates an engine over the catalog.
 func New(cat Catalog, o *Options) *Engine {
 	opts := o.withDefaults()
 	return &Engine{
-		cat:     cat,
-		opts:    opts,
-		sem:     make(chan struct{}, opts.MaxInFlight),
-		plans:   newLRU(opts.PlanCacheSize),
-		results: newLRU(opts.ResultCacheSize),
+		cat:      cat,
+		opts:     opts,
+		sem:      make(chan struct{}, opts.MaxInFlight),
+		plans:    newLRU(opts.PlanCacheSize),
+		results:  newLRU(opts.ResultCacheSize),
+		jobsByID: map[string]*Job{},
 	}
 }
 
@@ -422,6 +476,13 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Result, error) {
 	}
 	e.queries.Add(1)
 
+	// An already-cancelled context never evaluates — not even from the
+	// result cache (a job cancelled while queued must not succeed).
+	if err := ctx.Err(); err != nil {
+		e.failures.Add(1)
+		return nil, err
+	}
+
 	q, err := spaql.Parse(req.Query)
 	if err != nil {
 		e.failures.Add(1)
@@ -437,7 +498,7 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Result, error) {
 	if method != "sketch" {
 		if solver, err = core.SolverByName(method); err != nil {
 			e.failures.Add(1)
-			return nil, fmt.Errorf("%w: unknown method %q", ErrBadQuery, req.Method)
+			return nil, fmt.Errorf("%w %q", ErrUnknownMethod, req.Method)
 		}
 		method = solver.Name()
 	}
@@ -453,6 +514,9 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Result, error) {
 	}
 	if opts.Parallelism == 0 {
 		opts.Parallelism = e.opts.Parallelism
+	}
+	if req.Progress != nil {
+		opts.Progress = req.Progress
 	}
 	var sopts *sketch.Options
 	if method == "sketch" {
@@ -494,6 +558,9 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Result, error) {
 	}
 	defer func() { <-e.sem }()
 	wait := time.Since(enqueued)
+	if req.onAdmit != nil {
+		req.onAdmit()
+	}
 
 	e.active.Add(1)
 	defer e.active.Add(-1)
@@ -572,5 +639,10 @@ func (e *Engine) Stats() Stats {
 		MaxQueue:          e.opts.MaxQueue,
 		PlanCacheLen:      planLen,
 		ResultCacheLen:    resultLen,
+		JobsSubmitted:     e.jobsSubmitted.Load(),
+		JobsRunning:       e.jobsRunning.Load(),
+		JobsCompleted:     e.jobsCompleted.Load(),
+		JobsCancelled:     e.jobsCancelled.Load(),
+		JobsEvicted:       e.jobsEvicted.Load(),
 	}
 }

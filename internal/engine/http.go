@@ -1,20 +1,22 @@
 package engine
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"math"
 	"net/http"
-	"sort"
 	"strings"
 	"time"
 
+	"spq/client"
 	"spq/internal/core"
 	"spq/internal/sketch"
 )
 
-// QueryRequest is the JSON body of POST /query.
+// QueryRequest is the JSON body of the legacy POST /query. It predates the
+// typed v1 options (client.SubmitRequest) and is kept byte-compatible: the
+// flat field bag still parses exactly as it always did. New clients should
+// use /v1/queries.
 type QueryRequest struct {
 	Query  string `json:"query"`
 	Method string `json:"method,omitempty"` // "summarysearch" (default) | "naive" | "sketch"
@@ -52,7 +54,7 @@ type PackageTuple struct {
 	Count int `json:"count"` // multiplicity
 }
 
-// QueryResponse is the JSON body answering POST /query.
+// QueryResponse is the JSON body answering the legacy POST /query.
 type QueryResponse struct {
 	Feasible    bool           `json:"feasible"`
 	Objective   float64        `json:"objective"`
@@ -71,10 +73,6 @@ type QueryResponse struct {
 	TotalMS        int64       `json:"total_ms"`
 }
 
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -83,37 +81,74 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // Handler returns the engine's HTTP API:
 //
-//	POST /query   — evaluate an sPaQL query (QueryRequest → QueryResponse)
-//	GET  /healthz — liveness probe
-//	GET  /stats   — engine counters (admission, cache, solve time)
+//	POST   /query             — legacy synchronous evaluation (a thin shim
+//	                            over the job manager; QueryRequest →
+//	                            QueryResponse, byte-compatible)
+//	POST   /v1/queries        — submit an async job (see httpv1.go)
+//	GET    /v1/queries        — list jobs
+//	GET    /v1/queries/{id}   — poll a job (progress events, long-poll)
+//	DELETE /v1/queries/{id}   — cancel a job
+//	POST   /v1/queries:batch  — submit many jobs
+//	GET    /healthz           — liveness probe
+//	GET    /stats             — engine + job-manager counters
 //
-// Admission rejections map to 429, deadline expiry and cancellation to 504,
-// malformed queries to 400.
+// Every error — including unknown routes and disallowed methods — is the
+// structured JSON envelope with a stable code: admission rejections map to
+// 429 (with Retry-After), deadline expiry and cancellation to 504,
+// malformed queries to 400, unknown routes/jobs to 404.
 func (e *Engine) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /query", e.handleQuery)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, e.Stats())
+	mux.HandleFunc("/query", methodsHandler(map[string]http.HandlerFunc{
+		http.MethodPost: e.handleQuery,
+	}))
+	mux.HandleFunc("/v1/queries", methodsHandler(map[string]http.HandlerFunc{
+		http.MethodPost: e.handleV1Submit,
+		http.MethodGet:  e.handleV1List,
+	}))
+	mux.HandleFunc("/v1/queries/{id}", methodsHandler(map[string]http.HandlerFunc{
+		http.MethodGet:    e.handleV1Get,
+		http.MethodDelete: e.handleV1Cancel,
+	}))
+	mux.HandleFunc("/v1/queries:batch", methodsHandler(map[string]http.HandlerFunc{
+		http.MethodPost: e.handleV1Batch,
+	}))
+	mux.HandleFunc("/healthz", methodsHandler(map[string]http.HandlerFunc{
+		http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		},
+	}))
+	mux.HandleFunc("/stats", methodsHandler(map[string]http.HandlerFunc{
+		http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, e.Stats())
+		},
+	}))
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, &client.Error{
+			Code:       client.CodeNotFound,
+			Message:    "no route for " + r.URL.Path,
+			HTTPStatus: http.StatusNotFound,
+		})
 	})
 	return mux
 }
 
-// maxQueryBody bounds the /query request body: everything else the daemon
-// holds is capped (solve slots, queue, plan cache), so the body must be too.
+// maxQueryBody bounds request bodies: everything else the daemon holds is
+// capped (solve slots, queue, caches, job history), so the body must be too.
 const maxQueryBody = 1 << 20
 
+// handleQuery is the legacy synchronous endpoint, kept as a thin shim over
+// the job manager: it submits the request as a job, waits inline for the
+// terminal state, and renders the legacy response shape. A client
+// disconnect cancels the job (preserving the old request-context
+// semantics).
 func (e *Engine) handleQuery(w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, maxQueryBody)
 	var qr QueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&qr); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+	if apiErr := decodeBody(w, r, &qr); apiErr != nil {
+		writeError(w, apiErr)
 		return
 	}
 	if qr.Query == "" {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing \"query\""})
+		writeError(w, &client.Error{Code: client.CodeBadRequest, Message: `missing "query"`, HTTPStatus: http.StatusBadRequest})
 		return
 	}
 	req := Request{
@@ -139,20 +174,25 @@ func (e *Engine) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	start := time.Now()
-	res, err := e.Query(r.Context(), req)
+	j, err := e.Submit(req)
 	if err != nil {
-		switch {
-		case errors.Is(err, ErrOverloaded):
-			writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
-		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-			writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: err.Error()})
-		case errors.Is(err, ErrBadQuery):
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-		default:
-			// An evaluation failure on a well-formed query is a server
-			// fault: 500 tells clients and balancers it is retryable.
-			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		writeEngineError(w, err)
+		return
+	}
+	select {
+	case <-j.Done():
+	case <-r.Context().Done():
+		// The client went away: abort the solve and free its slot.
+		e.CancelJob(j.ID())
+		<-j.Done()
+	}
+	res, jerr := j.Result()
+	if jerr != nil {
+		var apiErr *client.Error
+		if !errors.As(jerr, &apiErr) {
+			apiErr = errToWire(jerr)
 		}
+		writeError(w, apiErr)
 		return
 	}
 
@@ -181,9 +221,8 @@ func (e *Engine) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !math.IsInf(res.EpsUpper, 0) && !math.IsNaN(res.EpsUpper) {
 		resp.EpsUpper = res.EpsUpper
 	}
-	for tuple, count := range res.Multiplicities() {
-		resp.Package = append(resp.Package, PackageTuple{Tuple: tuple, Count: count})
+	for _, pt := range packageOf(res.X, res.Rel) {
+		resp.Package = append(resp.Package, PackageTuple(pt))
 	}
-	sort.Slice(resp.Package, func(a, b int) bool { return resp.Package[a].Tuple < resp.Package[b].Tuple })
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -134,6 +134,22 @@ type Stats struct {
 	FellBack  bool // sketch failed; solved on the full relation
 }
 
+// withPhase returns a copy of opts whose progress reports carry the given
+// pipeline phase label, so consumers can tell shard sketches, the refine,
+// and fallbacks apart; nil opts or no callback pass through unchanged.
+func withPhase(opts *core.Options, phase string) *core.Options {
+	if opts == nil || opts.Progress == nil {
+		return opts
+	}
+	out := *opts
+	orig := opts.Progress
+	out.Progress = func(p core.Progress) {
+		p.Phase = phase
+		orig(p)
+	}
+	return &out
+}
+
 // featureAttrs picks the clustering features for a query: every
 // deterministic column and every stochastic attribute's mean column that
 // the query references, in constraint order (objective last), deduplicated.
@@ -198,7 +214,7 @@ func SolveSILP(ctx context.Context, silp *translate.SILP, copts *core.Options, s
 
 	if n <= so.MaxCandidates {
 		// Small enough to solve directly.
-		sol, err := so.Solver.Solve(ctx, silp, copts)
+		sol, err := so.Solver.Solve(ctx, silp, withPhase(copts, "fallback"))
 		stats.FellBack = true
 		stats.Candidates = n
 		return sol, stats, err
@@ -305,7 +321,7 @@ func SolveSILP(ctx context.Context, silp *translate.SILP, copts *core.Options, s
 		stats.FellBack = true
 		stats.SketchObj = 0
 		refineStart := time.Now()
-		sol, err := so.Solver.Solve(ctx, silp, copts)
+		sol, err := so.Solver.Solve(ctx, silp, withPhase(copts, "fallback"))
 		stats.RefineTime = time.Since(refineStart)
 		stats.Candidates = n
 		return sol, stats, err
@@ -340,7 +356,7 @@ func SolveSILP(ctx context.Context, silp *translate.SILP, copts *core.Options, s
 	if err != nil {
 		return nil, nil, err
 	}
-	refined, err := so.Solver.Solve(ctx, refineSILP, copts)
+	refined, err := so.Solver.Solve(ctx, refineSILP, withPhase(copts, "refine"))
 	stats.RefineTime = time.Since(refineStart)
 	if err != nil {
 		return nil, nil, err
@@ -397,7 +413,7 @@ func solveShard(ctx context.Context, view *relation.Relation, qNoWhere *spaql.Qu
 	}
 	opts := *baseOpts
 	opts.Seed = seed
-	sol, err := solver.Solve(ctx, sketchSILP, &opts)
+	sol, err := solver.Solve(ctx, sketchSILP, withPhase(&opts, fmt.Sprintf("sketch/shard%d", shard)))
 	if err != nil || !sol.Feasible {
 		if err != nil && !errors.Is(err, core.ErrInfeasible) {
 			return shardResult{}, err

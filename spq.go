@@ -42,8 +42,14 @@
 //	eng := spq.NewEngine(db, nil)
 //	res, err := eng.Query(ctx, spq.EngineRequest{Query: querySQL})
 //
-// The same engine backs the cmd/spqd daemon, which exposes POST /query,
-// GET /healthz, and GET /stats over HTTP/JSON with admission control.
+// The same engine backs the cmd/spqd daemon. Besides the legacy
+// synchronous POST /query, spqd serves the versioned async API — POST
+// /v1/queries submits a job, GET polls it with streamed per-iteration
+// progress (fed by the Options.Progress seam of the core algorithms),
+// DELETE cancels — with typed options, a structured error envelope with
+// stable codes, and GET /healthz + GET /stats. The spq/client package is
+// the typed Go client for that surface (Submit, Wait, Stream, Cancel,
+// automatic 429 retries); cmd/spq's -server flag rides on it.
 //
 // The heavy lifting lives in internal packages (solver, translation,
 // algorithms, engine); this package re-exports the types a client needs.
@@ -55,6 +61,7 @@ import (
 	"io"
 	"strings"
 
+	"spq/client"
 	"spq/internal/core"
 	"spq/internal/dist"
 	"spq/internal/engine"
@@ -187,6 +194,19 @@ type (
 	EngineResult = engine.Result
 	// EngineStats is a snapshot of the engine's counters.
 	EngineStats = engine.Stats
+)
+
+// Async job API re-exports (the v1 surface; see internal/engine/jobs.go
+// and the spq/client package).
+type (
+	// Progress is one per-iteration report of a running evaluation,
+	// delivered through Options.Progress (and streamed by the v1 API).
+	Progress = core.Progress
+	// Job is an asynchronous engine query: Engine.Submit returns one;
+	// poll it with Snapshot/Poll, abort it with Engine.CancelJob.
+	Job = engine.Job
+	// JobState is a Job's lifecycle state (queued → running → terminal).
+	JobState = client.JobState
 )
 
 // ErrOverloaded reports an engine query rejected by admission control.
