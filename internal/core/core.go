@@ -60,11 +60,13 @@ type Options struct {
 	// RelGap is the MILP relative optimality gap (default 1e-4).
 	RelGap float64
 	// Parallelism is the number of worker goroutines used for scenario
-	// generation, summarization, and out-of-sample validation. 0 or 1 run
-	// sequentially; a negative value uses one worker per available CPU.
-	// Results are bit-identical for every value: realizations are pure
-	// functions of their (attribute, tuple, scenario) coordinates, and the
-	// engine shards work along those coordinates.
+	// generation, summarization, out-of-sample validation, and the
+	// branch-and-bound MILP search. 0 or 1 run sequentially; a negative
+	// value uses one worker per available CPU. Results are bit-identical
+	// for every value: realizations are pure functions of their (attribute,
+	// tuple, scenario) coordinates, the engine shards work along those
+	// coordinates, and the MILP search explores nodes in deterministic
+	// rounds with path-id incumbent tie-breaking (see internal/milp).
 	Parallelism int
 	// Progress, when non-nil, receives one report per validated candidate
 	// package while the evaluation runs (see Progress). The callback must be
@@ -145,6 +147,9 @@ type Iteration struct {
 	Z            int // 0 for Naïve
 	SolverStatus milp.Status
 	Coefficients int
+	// Nodes is the branch-and-bound node count of the iteration's MILP
+	// solve (0 for iterations that never reached a solve).
+	Nodes        int
 	SolveTime    time.Duration
 	ValidateTime time.Duration
 	Feasible     bool
@@ -177,6 +182,13 @@ type Solution struct {
 	Iterations []Iteration
 	// TotalTime is the end-to-end wall-clock time.
 	TotalTime time.Duration
+	// MILPSolves and MILPNodes count the MILP solves the evaluation ran
+	// (including the unconstrained x(0) solve) and the branch-and-bound
+	// nodes they explored; MILPWorkers is the largest per-solve worker
+	// bound used. The engine aggregates them into its /stats counters.
+	MILPSolves  int
+	MILPNodes   int
+	MILPWorkers int
 }
 
 // HitLimit reports whether the evaluation was cut short by a wall-clock or
@@ -222,6 +234,12 @@ type runner struct {
 	sLo, sHi float64
 	sizeLo   float64
 	sizeHi   float64
+
+	// MILP accounting across every solve of the evaluation (see
+	// Solution.MILPSolves); stamped onto the returned Solution by finish.
+	milpSolves  int
+	milpNodes   int
+	milpWorkers int
 }
 
 func newRunner(ctx context.Context, silp *translate.SILP, o *Options) *runner {
@@ -269,10 +287,30 @@ func (r *runner) solverOptions(initial []float64) *milp.Options {
 		}
 	}
 	return &milp.Options{
-		TimeLimit: limit,
-		MaxNodes:  r.opts.SolverNodes,
-		RelGap:    r.opts.RelGap,
-		InitialX:  initial,
-		Cancel:    r.ctx.Done(),
+		TimeLimit:   limit,
+		MaxNodes:    r.opts.SolverNodes,
+		RelGap:      r.opts.RelGap,
+		InitialX:    initial,
+		Cancel:      r.ctx.Done(),
+		Parallelism: r.opts.Parallelism,
 	}
+}
+
+// noteSolve accumulates one MILP solve into the runner's accounting.
+func (r *runner) noteSolve(res *milp.Result) {
+	r.milpSolves++
+	r.milpNodes += res.Nodes
+	if res.Workers > r.milpWorkers {
+		r.milpWorkers = res.Workers
+	}
+}
+
+// finish stamps end-of-evaluation bookkeeping (wall-clock time, MILP
+// accounting) onto the solution about to be returned.
+func (r *runner) finish(sol *Solution) *Solution {
+	sol.TotalTime = time.Since(r.start)
+	sol.MILPSolves = r.milpSolves
+	sol.MILPNodes = r.milpNodes
+	sol.MILPWorkers = r.milpWorkers
+	return sol
 }

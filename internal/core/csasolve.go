@@ -263,11 +263,13 @@ func (r *runner) csaSolve(sets []*scenario.Set, objSet *scenario.Set, x0 []float
 		if err != nil {
 			return nil, fmt.Errorf("core: CSA solve (M=%d, Z=%d): %w", mCount, zCount, err)
 		}
+		r.noteSolve(res)
 		if err := r.ctx.Err(); err != nil {
 			return nil, err
 		}
 		(*iters)[len(*iters)-1].SolverStatus = res.Status
 		(*iters)[len(*iters)-1].Coefficients = res.Coefficients
+		(*iters)[len(*iters)-1].Nodes = res.Nodes
 		(*iters)[len(*iters)-1].SolveTime = time.Since(solveStart)
 		if res.X == nil {
 			// The conservative problem is unsolvable at these α's: back off

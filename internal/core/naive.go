@@ -44,6 +44,7 @@ func NaiveCtx(ctx context.Context, silp *translate.SILP, o *Options) (*Solution,
 		if err != nil {
 			return nil, fmt.Errorf("core: naive solve with M=%d: %w", m, err)
 		}
+		r.noteSolve(res)
 		if err := r.ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -51,6 +52,7 @@ func NaiveCtx(ctx context.Context, silp *translate.SILP, o *Options) (*Solution,
 			M:            m,
 			SolverStatus: res.Status,
 			Coefficients: res.Coefficients,
+			Nodes:        res.Nodes,
 			SolveTime:    time.Since(solveStart),
 		}
 		if res.X != nil {
@@ -72,8 +74,7 @@ func NaiveCtx(ctx context.Context, silp *translate.SILP, o *Options) (*Solution,
 			}
 			r.progress(len(sol.Iterations), m, 0, val, cand.X, improved, best)
 			if val.Feasible {
-				best.TotalTime = time.Since(r.start)
-				return best, nil
+				return r.finish(best), nil
 			}
 		} else {
 			sol.Iterations = append(sol.Iterations, iter)
@@ -98,8 +99,7 @@ func NaiveCtx(ctx context.Context, silp *translate.SILP, o *Options) (*Solution,
 		best = sol
 	}
 	best.M = m // report the final scenario count reached before giving up
-	best.TotalTime = time.Since(r.start)
-	return best, nil
+	return r.finish(best), nil
 }
 
 // asSolution packages a validated point into a Solution snapshot.

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"time"
 
 	"spq/internal/milp"
 	"spq/internal/translate"
@@ -46,6 +45,7 @@ func (r *runner) solveUnconstrained() ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.noteSolve(res)
 	if err := r.ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -94,8 +94,7 @@ func SummarySearchCtx(ctx context.Context, silp *translate.SILP, o *Options) (*S
 		if err != nil {
 			return nil, err
 		}
-		sol := r.asSolution(x0, val, 0, 0, iters)
-		sol.TotalTime = time.Since(r.start)
+		sol := r.finish(r.asSolution(x0, val, 0, 0, iters))
 		r.progress(1, 0, 0, val, sol.X, true, sol)
 		return sol, nil
 	}
@@ -129,8 +128,7 @@ func SummarySearchCtx(ctx context.Context, silp *translate.SILP, o *Options) (*S
 		case sol != nil && sol.Feasible && sol.EpsUpper <= r.opts.Epsilon:
 			// Feasible and (1+ε)-approximate: done (Alg 2 line 7).
 			best.Iterations = iters
-			best.TotalTime = time.Since(r.start)
-			return best, nil
+			return r.finish(best), nil
 		case sol != nil && sol.Feasible && r.opts.FixedZ == 0 && z < m && !r.timeUp():
 			// Feasible but not accurate enough: more summaries (line 9).
 			z += r.opts.IncrementZ
@@ -138,8 +136,7 @@ func SummarySearchCtx(ctx context.Context, silp *translate.SILP, o *Options) (*S
 		case sol != nil && sol.Feasible:
 			// Feasible but Z cannot grow (pinned or at M): best effort.
 			best.Iterations = iters
-			best.TotalTime = time.Since(r.start)
-			return best, nil
+			return r.finish(best), nil
 		}
 		// Infeasible: more scenarios (line 11).
 		if m >= r.opts.MaxM || r.timeUp() {
@@ -162,6 +159,5 @@ func SummarySearchCtx(ctx context.Context, silp *translate.SILP, o *Options) (*S
 	}
 	best.M = m // report the final scenario count reached before giving up
 	best.Iterations = iters
-	best.TotalTime = time.Since(r.start)
-	return best, nil
+	return r.finish(best), nil
 }

@@ -304,6 +304,14 @@ type Stats struct {
 	JobsCompleted int64 `json:"jobs_completed"`
 	JobsCancelled int64 `json:"jobs_cancelled"`
 	JobsEvicted   int64 `json:"jobs_evicted"`
+	// MILP search counters: MilpSolves counts branch-and-bound solves run by
+	// finished queries, MilpNodes the nodes they explored, and MilpWorkersMax
+	// the largest per-solve worker bound observed (1 = sequential search).
+	// Sketch shard sub-solves report only through the refine solution they
+	// feed, so these undercount method=sketch traffic.
+	MilpSolves     int64 `json:"milp_solves"`
+	MilpNodes      int64 `json:"milp_nodes"`
+	MilpWorkersMax int64 `json:"milp_workers_max"`
 }
 
 // Engine is a concurrent sPaQL query-execution engine over a catalog of
@@ -313,18 +321,21 @@ type Engine struct {
 	opts Options
 	sem  chan struct{}
 
-	queries       atomic.Int64
-	failures      atomic.Int64
-	rejected      atomic.Int64
-	cacheHits     atomic.Int64
-	cacheMisses   atomic.Int64
-	resultHits    atomic.Int64
-	resultMisses  atomic.Int64
-	sketchQueries atomic.Int64
-	shardSolves   atomic.Int64
-	active        atomic.Int64
-	queued        atomic.Int64
-	solveNanos    atomic.Int64
+	queries        atomic.Int64
+	failures       atomic.Int64
+	rejected       atomic.Int64
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	resultHits     atomic.Int64
+	resultMisses   atomic.Int64
+	sketchQueries  atomic.Int64
+	shardSolves    atomic.Int64
+	milpSolves     atomic.Int64
+	milpNodes      atomic.Int64
+	milpWorkersMax atomic.Int64
+	active         atomic.Int64
+	queued         atomic.Int64
+	solveNanos     atomic.Int64
 
 	mu      sync.Mutex
 	plans   *lruCache
@@ -594,6 +605,15 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Result, error) {
 		return nil, err
 	}
 
+	e.milpSolves.Add(int64(sol.MILPSolves))
+	e.milpNodes.Add(int64(sol.MILPNodes))
+	for {
+		cur := e.milpWorkersMax.Load()
+		if int64(sol.MILPWorkers) <= cur || e.milpWorkersMax.CompareAndSwap(cur, int64(sol.MILPWorkers)) {
+			break
+		}
+	}
+
 	// The solution's X indexes p.silp.Rel for every method: the sketch
 	// pipeline maps its refine solution back to the plan's view. A solution
 	// cut short by a wall-clock/node budget is best-effort, not
@@ -632,6 +652,9 @@ func (e *Engine) Stats() Stats {
 		ResultCacheMisses: e.resultMisses.Load(),
 		SketchQueries:     e.sketchQueries.Load(),
 		ShardSolves:       e.shardSolves.Load(),
+		MilpSolves:        e.milpSolves.Load(),
+		MilpNodes:         e.milpNodes.Load(),
+		MilpWorkersMax:    e.milpWorkersMax.Load(),
 		Active:            e.active.Load(),
 		Queued:            waiting,
 		SolveTimeMS:       e.solveNanos.Load() / int64(time.Millisecond),

@@ -279,6 +279,14 @@ func TestHTTPHandler(t *testing.T) {
 	if st.Queries < 2 {
 		t.Fatalf("stats queries = %d, want >= 2", st.Queries)
 	}
+	// The successful query ran MILP solves through the branch-and-bound
+	// search; the node/worker counters must surface that.
+	if st.MilpSolves < 1 || st.MilpNodes < 1 {
+		t.Fatalf("stats milp solves/nodes = %d/%d, want ≥ 1 each", st.MilpSolves, st.MilpNodes)
+	}
+	if st.MilpWorkersMax < 1 {
+		t.Fatalf("stats milp_workers_max = %d, want ≥ 1", st.MilpWorkersMax)
+	}
 }
 
 // TestEngineConcurrentQueries hammers one engine from many goroutines; run

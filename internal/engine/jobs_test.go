@@ -246,6 +246,60 @@ func TestJobCancelFreesSlot(t *testing.T) {
 	}
 }
 
+// TestJobCancelMidMILP is the cancellation-latency regression test at the
+// job level: a DELETE on a job whose evaluation is deep inside a single long
+// LP solve must reach cancelled within iterations of the simplex, not after
+// the solve finishes. The query is built so the very first MILP's root LP
+// relaxation alone runs for many seconds (a huge unconstrained knapsack:
+// one bound flip per tuple, each with a full pricing scan), which made the
+// pre-fix behaviour — Cancel polled only between LP solves — flaky-slow by
+// construction.
+func TestJobCancelMidMILP(t *testing.T) {
+	cat := newCatalog(t, 30000)
+	e := New(cat, &Options{MaxInFlight: 1, Parallelism: 1, ResultCacheSize: -1})
+	j, err := e.Submit(Request{
+		// The budget never binds, so the root LP walks all 30k tuples.
+		Query: `SELECT PACKAGE(*) FROM stocks SUCH THAT
+			SUM(price) <= 2000000000 AND
+			SUM(gain) >= 100 WITH PROBABILITY >= 0.95
+			MAXIMIZE EXPECTED SUM(gain)`,
+		Timeout: 10 * time.Minute,
+		Options: &core.Options{Seed: 1, ValidationM: 1000, InitialM: 20, MaxM: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, client.JobRunning)
+	// Land well inside the root LP solve (it runs for many seconds; under
+	// the race detector, tens of seconds).
+	settle := 500 * time.Millisecond
+	if raceEnabled {
+		settle = 2 * time.Second
+	}
+	time.Sleep(settle)
+
+	cancelled := time.Now()
+	if _, ok := e.CancelJob(j.ID()); !ok {
+		t.Fatal("CancelJob did not find the job")
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatal("cancelled job never finished")
+	}
+	latency := time.Since(cancelled)
+	bound := 3 * time.Second
+	if raceEnabled {
+		bound = 8 * time.Second
+	}
+	if latency > bound {
+		t.Fatalf("cancel→done latency %v (bound %v): cancellation waited for the LP solve", latency, bound)
+	}
+	if s := j.Snapshot(0); s.State != client.JobCancelled {
+		t.Fatalf("state = %q, want cancelled", s.State)
+	}
+}
+
 // TestJobHistoryEviction bounds the finished-job history.
 func TestJobHistoryEviction(t *testing.T) {
 	cat := newCatalog(t, 15)

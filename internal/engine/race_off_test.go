@@ -1,0 +1,7 @@
+//go:build !race
+
+package engine
+
+// raceEnabled scales solve-size and latency bounds in jobs_test.go: race
+// instrumentation slows the LP inner loops by an order of magnitude.
+const raceEnabled = false

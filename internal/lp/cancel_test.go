@@ -1,0 +1,142 @@
+package lp
+
+import (
+	"testing"
+	"time"
+
+	"spq/internal/rng"
+)
+
+// denseProblem builds a dense random LP sized so a full solve takes hundreds
+// of milliseconds (thousands of iterations over dense columns): the shape
+// where per-iteration cancellation polling matters. Checking limits only
+// between solves — the pre-fix behaviour — would make cancellation wait for
+// the whole thing.
+func denseProblem(m, n int) *Problem {
+	s := rng.NewStream(99)
+	p := NewProblem(n)
+	idxs := make([]int, n)
+	for j := 0; j < n; j++ {
+		idxs[j] = j
+		p.SetObj(j, s.Float64()*2-1)
+		p.SetVarBounds(j, 0, 10)
+	}
+	coefs := make([]float64, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			coefs[j] = s.Float64()*2 - 1
+		}
+		p.AddRow(idxs, append([]float64(nil), coefs...), -5+s.Float64(), 5+s.Float64())
+	}
+	return p
+}
+
+// TestCancelMidSolve is the headline regression test for the cancellation
+// bug: closing Options.Cancel while the simplex is mid-solve must return
+// within about one iteration (sub-millisecond here), not after the remaining
+// hundreds of milliseconds of the solve.
+func TestCancelMidSolve(t *testing.T) {
+	p := denseProblem(200, 400)
+
+	// Baseline: this model's uncancelled solve is the "one long LP solve"
+	// the bug hid behind. It must comfortably exceed the latency bound below
+	// for the cancellation measurement to mean anything.
+	start := time.Now()
+	sol, err := Solve(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := time.Since(start)
+	if sol.Status != StatusOptimal {
+		t.Fatalf("baseline status = %v", sol.Status)
+	}
+	if full < 100*time.Millisecond {
+		t.Fatalf("baseline solve took %v; too fast for a meaningful cancellation-latency bound", full)
+	}
+
+	cancel := make(chan struct{})
+	type outcome struct {
+		sol     *Solution
+		err     error
+		latency time.Duration
+	}
+	done := make(chan outcome, 1)
+	var cancelled time.Time
+	go func() {
+		s, err := Solve(p, &Options{Cancel: cancel})
+		done <- outcome{sol: s, err: err, latency: time.Since(cancelled)}
+	}()
+
+	time.Sleep(full / 4) // well inside the solve
+	cancelled = time.Now()
+	close(cancel)
+
+	out := <-done
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if out.sol.Status != StatusCancelled {
+		t.Fatalf("status = %v, want cancelled", out.sol.Status)
+	}
+	// The contract is ~one iteration (~hundreds of microseconds on this
+	// model); the bound is generous for loaded CI machines but far below the
+	// remaining ~3/4 of the solve. Under the race detector the longest
+	// uninterruptible stretch between polls (a basis refactorization) grows
+	// by an order of magnitude, so the bound scales with it.
+	bound := 100 * time.Millisecond
+	if raceEnabled {
+		bound = 2 * time.Second
+	}
+	if out.latency > bound {
+		t.Fatalf("cancellation latency %v, want ≲10ms (bound %v)", out.latency, bound)
+	}
+	if out.sol.Iters == 0 {
+		t.Fatal("solve was cancelled before doing any work; cancel landed too early")
+	}
+}
+
+// TestDeadlineMidSolve: Options.Deadline is polled inside the iteration loop
+// too, so a deadline expiring mid-solve stops it promptly with
+// StatusCancelled.
+func TestDeadlineMidSolve(t *testing.T) {
+	p := denseProblem(200, 400)
+	start := time.Now()
+	sol, err := Solve(p, &Options{Deadline: start.Add(50 * time.Millisecond)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if sol.Status != StatusCancelled {
+		t.Fatalf("status = %v after %v, want cancelled", sol.Status, elapsed)
+	}
+	bound := 500 * time.Millisecond
+	if raceEnabled {
+		bound = 3 * time.Second
+	}
+	if elapsed > bound {
+		t.Fatalf("deadline overshoot: solve ran %v past a 50ms deadline", elapsed)
+	}
+}
+
+// TestCancelAlreadyClosed: a pre-closed Cancel channel aborts before the
+// first iteration.
+func TestCancelAlreadyClosed(t *testing.T) {
+	cancel := make(chan struct{})
+	close(cancel)
+	sol, err := Solve(denseProblem(40, 80), &Options{Cancel: cancel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusCancelled {
+		t.Fatalf("status = %v, want cancelled", sol.Status)
+	}
+	if sol.Iters != 0 {
+		t.Fatalf("ran %d iterations under a pre-closed cancel", sol.Iters)
+	}
+}
+
+func TestCancelledStatusString(t *testing.T) {
+	if got := StatusCancelled.String(); got != "cancelled" {
+		t.Fatalf("StatusCancelled.String() = %q", got)
+	}
+}

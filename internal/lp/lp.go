@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 )
 
 // Inf is the bound value representing +infinity. Use -Inf for free lower
@@ -40,6 +41,11 @@ const (
 	StatusUnbounded
 	// StatusIterLimit means the iteration limit was hit before convergence.
 	StatusIterLimit
+	// StatusCancelled means the solve was aborted early by Options.Cancel or
+	// the Options.Deadline expiring. The solution's X is the best-effort
+	// iterate at the moment of cancellation and its objective bound must not
+	// be trusted.
+	StatusCancelled
 )
 
 func (s Status) String() string {
@@ -52,6 +58,8 @@ func (s Status) String() string {
 		return "unbounded"
 	case StatusIterLimit:
 		return "iteration-limit"
+	case StatusCancelled:
+		return "cancelled"
 	default:
 		return fmt.Sprintf("lp.Status(%d)", int(s))
 	}
@@ -162,6 +170,17 @@ type Options struct {
 	FeasTol float64
 	// OptTol is the reduced-cost optimality tolerance (default 1e-9).
 	OptTol float64
+	// Cancel, when non-nil, aborts the solve as soon as the channel is
+	// closed. It is polled every simplex iteration in both phases, so even a
+	// single long solve responds within one iteration rather than running to
+	// convergence — the property the MILP layer (and, above it, query
+	// cancellation) depends on. A cancelled solve reports StatusCancelled.
+	Cancel <-chan struct{}
+	// Deadline, when nonzero, bounds the solve in wall-clock time. Like
+	// Cancel it is polled inside the iteration loop and expiry reports
+	// StatusCancelled (MaxIters remains the deterministic iteration budget;
+	// Deadline is the responsive wall-clock one).
+	Deadline time.Time
 }
 
 func (o *Options) withDefaults(m, n int) Options {

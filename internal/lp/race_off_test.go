@@ -1,0 +1,9 @@
+//go:build !race
+
+package lp
+
+// raceEnabled reports whether the race detector instruments this test
+// binary. Latency bounds in cancel_test.go scale by it: instrumentation
+// slows the solver's uninterruptible inner blocks (notably the O(m³) basis
+// refactorization between cancellation polls) by an order of magnitude.
+const raceEnabled = false

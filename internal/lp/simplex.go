@@ -3,6 +3,7 @@ package lp
 import (
 	"errors"
 	"math"
+	"time"
 )
 
 // variable status codes. Structural variables are 0..n-1, logical (row)
@@ -43,6 +44,8 @@ type simplex struct {
 	sincePivot  int // pivots since last refactorization
 	degenerate  int // consecutive degenerate iterations (for Bland's rule)
 	blandActive bool
+
+	hasDL bool // opts.Deadline is set
 }
 
 func newSimplex(p *Problem, varLo, varHi []float64, o *Options) *simplex {
@@ -66,6 +69,7 @@ func newSimplex(p *Problem, varLo, varHi []float64, o *Options) *simplex {
 		w:      make([]float64, m),
 		v:      make([]float64, m),
 	}
+	s.hasDL = !opts.Deadline.IsZero()
 	copy(s.lo, varLo)
 	copy(s.hi, varHi)
 	for i := 0; i < m; i++ {
@@ -266,6 +270,22 @@ func (s *simplex) updateBasisInverse(r int) {
 	s.sincePivot++
 }
 
+// interrupted reports whether the solve should stop with StatusCancelled.
+// It is called once per iteration in both phases: a non-blocking channel poll
+// plus (only when a deadline is set) one time.Now are negligible next to an
+// iteration's pricing pass, and keep cancellation latency at one iteration
+// rather than one solve.
+func (s *simplex) interrupted() bool {
+	if s.opts.Cancel != nil {
+		select {
+		case <-s.opts.Cancel:
+			return true
+		default:
+		}
+	}
+	return s.hasDL && time.Now().After(s.opts.Deadline)
+}
+
 // infeasibility classification of a basic value.
 const (
 	feaOK = iota
@@ -335,6 +355,9 @@ func (s *simplex) phase1() (Status, error) {
 		if s.iters >= s.opts.MaxIters {
 			return StatusIterLimit, nil
 		}
+		if s.interrupted() {
+			return StatusCancelled, nil
+		}
 		// Phase-1 costs live only on basic variables; clear stale entries
 		// from variables that left the basis before reassigning.
 		for j := range s.cost {
@@ -389,6 +412,9 @@ func (s *simplex) phase2() (Status, error) {
 	for {
 		if s.iters >= s.opts.MaxIters {
 			return StatusIterLimit, nil
+		}
+		if s.interrupted() {
+			return StatusCancelled, nil
 		}
 		s.btran()
 		enter, sigma := s.priceForEntering()

@@ -6,6 +6,15 @@
 // variables, range constraints, and indicator ("y = 1 ⟹ linear constraint")
 // constraints, which are linearized with per-row derived big-M values.
 //
+// The search itself is an explicit node pool explored by a bounded set of
+// workers (Options.Parallelism) rather than a recursive depth-first dive:
+// nodes carry immutable bound deltas, workers claim them from deterministic
+// synchronization rounds, and the shared incumbent breaks objective ties
+// toward the smaller canonical path id, so results are bit-identical for
+// every worker count (see search.go). Cancellation (Options.Cancel) and the
+// time limit reach into the simplex iteration loop itself via lp.Options, so
+// an abort takes effect within one LP iteration, not one LP solve.
+//
 // Minimization is canonical; callers maximize by negating objective
 // coefficients.
 package milp
@@ -246,10 +255,19 @@ type Options struct {
 	// point (e.g. the previous CSA-Solve solution); ignored if infeasible.
 	InitialX []float64
 	// Cancel, when non-nil, aborts the search as soon as the channel is
-	// closed (checked once per node, like the time limit). The best
-	// incumbent found so far is returned. It carries context cancellation
-	// into the solver without coupling this package to context.Context.
+	// closed. The best incumbent found so far is returned. It carries
+	// context cancellation into the solver without coupling this package to
+	// context.Context, and is forwarded into every node LP solve so a
+	// cancellation takes effect within one simplex iteration even when a
+	// single LP solve is long.
 	Cancel <-chan struct{}
+	// Parallelism is the number of workers exploring branch-and-bound nodes
+	// concurrently. 0 or 1 explore sequentially; a negative value uses one
+	// worker per available CPU. Results are bit-identical for every value:
+	// nodes are processed in deterministic synchronization rounds against a
+	// round-start incumbent snapshot, and equal-objective incumbents are
+	// resolved toward the smaller canonical path id.
+	Parallelism int
 	// LP tunes the node LP solves.
 	LP lp.Options
 }
@@ -278,8 +296,12 @@ type Result struct {
 	// Bound is the root LP relaxation bound (a valid lower bound for
 	// minimization).
 	Bound float64
-	// Nodes is the number of branch-and-bound nodes explored.
+	// Nodes is the number of branch-and-bound nodes explored (deterministic
+	// for a fixed model and options whenever no wall-clock limit hit).
 	Nodes int
+	// Workers is the resolved branch-and-bound worker bound the search ran
+	// with (1 for a sequential solve).
+	Workers int
 	// Coefficients is the DILP size that was handed to the LP engine.
 	Coefficients int
 }
@@ -299,290 +321,4 @@ func (r *Result) Gap() float64 {
 		return 0
 	}
 	return g
-}
-
-type bbState struct {
-	model    *Model
-	prob     *lp.Problem
-	opts     Options
-	deadline time.Time
-	hasDL    bool
-
-	lo, hi []float64 // current node bounds (mutated along the DFS)
-
-	incumbent    []float64
-	incumbentObj float64
-	nodes        int
-	err          error
-}
-
-// Solve runs branch and bound on the model.
-func Solve(m *Model, o *Options) (*Result, error) {
-	opts := o.withDefaults()
-	prob, err := m.build()
-	if err != nil {
-		return nil, err
-	}
-	st := &bbState{
-		model:        m,
-		prob:         prob,
-		opts:         opts,
-		incumbentObj: math.Inf(1),
-		lo:           make([]float64, len(m.vars)),
-		hi:           make([]float64, len(m.vars)),
-	}
-	if opts.TimeLimit > 0 {
-		st.deadline = time.Now().Add(opts.TimeLimit)
-		st.hasDL = true
-	}
-	for j, v := range m.vars {
-		st.lo[j] = v.lo
-		st.hi[j] = v.hi
-	}
-	if opts.InitialX != nil {
-		if obj, ok := st.checkFeasible(opts.InitialX); ok {
-			st.incumbent = append([]float64(nil), opts.InitialX...)
-			st.incumbentObj = obj
-		}
-	}
-
-	rootSol, err := lp.SolveWithBounds(prob, st.lo, st.hi, &opts.LP)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{Bound: rootSol.Obj, Coefficients: m.NumCoefficients()}
-	switch rootSol.Status {
-	case lp.StatusInfeasible:
-		if st.incumbent != nil {
-			res.Status, res.X, res.Obj = StatusFeasible, st.incumbent, st.incumbentObj
-			return res, nil
-		}
-		res.Status = StatusInfeasible
-		return res, nil
-	case lp.StatusUnbounded:
-		res.Status = StatusUnbounded
-		return res, nil
-	case lp.StatusIterLimit:
-		if st.incumbent != nil {
-			res.Status, res.X, res.Obj = StatusFeasible, st.incumbent, st.incumbentObj
-			return res, nil
-		}
-		res.Status = StatusLimit
-		return res, nil
-	}
-	// Rounding heuristic on the root relaxation for an early incumbent.
-	st.tryRounding(rootSol.X)
-
-	complete := st.dive(rootSol)
-	if st.err != nil {
-		return nil, st.err
-	}
-	res.Nodes = st.nodes
-	switch {
-	case st.incumbent != nil && complete:
-		res.Status = StatusOptimal
-		res.X, res.Obj = st.incumbent, st.incumbentObj
-	case st.incumbent != nil:
-		res.Status = StatusFeasible
-		res.X, res.Obj = st.incumbent, st.incumbentObj
-	case complete:
-		res.Status = StatusInfeasible
-	default:
-		res.Status = StatusLimit
-	}
-	return res, nil
-}
-
-// limitHit reports whether a node or time limit has expired or the solve
-// was cancelled.
-func (st *bbState) limitHit() bool {
-	if st.nodes >= st.opts.MaxNodes {
-		return true
-	}
-	if st.hasDL && time.Now().After(st.deadline) {
-		return true
-	}
-	if st.opts.Cancel != nil {
-		select {
-		case <-st.opts.Cancel:
-			return true
-		default:
-		}
-	}
-	return false
-}
-
-// gapMet reports whether the incumbent is within the requested relative gap
-// of the given bound.
-func (st *bbState) gapMet(bound float64) bool {
-	if st.incumbent == nil || st.opts.RelGap <= 0 {
-		return false
-	}
-	denom := math.Abs(st.incumbentObj)
-	if denom < 1e-12 {
-		denom = 1e-12
-	}
-	return (st.incumbentObj-bound)/denom <= st.opts.RelGap
-}
-
-// dive explores the subtree rooted at the current bound state, whose LP
-// relaxation solution is sol. Returns true if the subtree was fully explored
-// (i.e. the result in this subtree is exact).
-func (st *bbState) dive(sol *lp.Solution) bool {
-	st.nodes++
-	if sol.Status == lp.StatusInfeasible {
-		return true
-	}
-	if sol.Status == lp.StatusIterLimit {
-		return false // cannot trust this subtree's bound
-	}
-	if sol.Obj >= st.incumbentObj-1e-9 {
-		return true // bound prune
-	}
-	if st.gapMet(sol.Obj) {
-		return true
-	}
-	branchVar := st.pickBranchVar(sol.X)
-	if branchVar < 0 {
-		// Integer feasible: new incumbent.
-		obj := sol.Obj
-		if obj < st.incumbentObj {
-			st.incumbent = st.roundedCopy(sol.X)
-			st.incumbentObj = obj
-		}
-		return true
-	}
-	if st.limitHit() {
-		return false
-	}
-	val := sol.X[branchVar]
-	floorV := math.Floor(val)
-	ceilV := floorV + 1
-	frac := val - floorV
-
-	type branch struct{ loV, hiV float64 }
-	// Explore the side nearer the LP value first.
-	order := []branch{{st.lo[branchVar], floorV}, {ceilV, st.hi[branchVar]}}
-	if frac > 0.5 {
-		order[0], order[1] = order[1], order[0]
-	}
-	complete := true
-	for _, b := range order {
-		if b.loV > b.hiV {
-			continue
-		}
-		savedLo, savedHi := st.lo[branchVar], st.hi[branchVar]
-		st.lo[branchVar], st.hi[branchVar] = b.loV, b.hiV
-		childSol, err := lp.SolveWithBounds(st.prob, st.lo, st.hi, &st.opts.LP)
-		if err != nil {
-			st.err = err
-			st.lo[branchVar], st.hi[branchVar] = savedLo, savedHi
-			return false
-		}
-		if !st.dive(childSol) {
-			complete = false
-		}
-		st.lo[branchVar], st.hi[branchVar] = savedLo, savedHi
-		if st.err != nil {
-			return false
-		}
-		if st.limitHit() {
-			return false
-		}
-	}
-	return complete
-}
-
-// pickBranchVar returns the most fractional integer variable, or -1 if the
-// point is integer feasible.
-func (st *bbState) pickBranchVar(x []float64) int {
-	best := -1
-	bestScore := math.Inf(1) // |frac − 0.5|: most-fractional branching
-	for j, v := range st.model.vars {
-		if !v.integer {
-			continue
-		}
-		f := x[j] - math.Floor(x[j])
-		if math.Min(f, 1-f) <= st.opts.IntTol {
-			continue // effectively integral
-		}
-		score := math.Abs(f - 0.5)
-		if score < bestScore {
-			best, bestScore = j, score
-		}
-	}
-	return best
-}
-
-// roundedCopy snaps near-integer values of integer variables exactly.
-func (st *bbState) roundedCopy(x []float64) []float64 {
-	out := append([]float64(nil), x...)
-	for j, v := range st.model.vars {
-		if v.integer {
-			out[j] = math.Round(out[j])
-		}
-	}
-	return out
-}
-
-// tryRounding rounds the LP relaxation point and installs it as incumbent if
-// it is feasible for the full model.
-func (st *bbState) tryRounding(x []float64) {
-	cand := st.roundedCopy(x)
-	for j := range cand {
-		if cand[j] < st.lo[j] {
-			cand[j] = st.lo[j]
-		}
-		if cand[j] > st.hi[j] {
-			cand[j] = st.hi[j]
-		}
-	}
-	if obj, ok := st.checkFeasible(cand); ok && obj < st.incumbentObj {
-		st.incumbent = cand
-		st.incumbentObj = obj
-	}
-}
-
-// checkFeasible verifies a candidate point against all rows, indicator
-// constraints, bounds, and integrality; it returns the objective value.
-func (st *bbState) checkFeasible(x []float64) (float64, bool) {
-	const tol = 1e-6
-	if len(x) != len(st.model.vars) {
-		return 0, false
-	}
-	obj := 0.0
-	for j, v := range st.model.vars {
-		if x[j] < v.lo-tol || x[j] > v.hi+tol {
-			return 0, false
-		}
-		if v.integer && math.Abs(x[j]-math.Round(x[j])) > tol {
-			return 0, false
-		}
-		obj += v.obj * x[j]
-	}
-	for _, r := range st.model.rows {
-		dot := 0.0
-		for k, j := range r.idxs {
-			dot += r.coefs[k] * x[j]
-		}
-		if dot < r.lo-tol || dot > r.hi+tol {
-			return 0, false
-		}
-	}
-	for _, ind := range st.model.indicators {
-		if math.Round(x[ind.bin]) != 1 {
-			continue
-		}
-		dot := 0.0
-		for k, j := range ind.idxs {
-			dot += ind.coefs[k] * x[j]
-		}
-		if ind.ge && dot < ind.rhs-tol {
-			return 0, false
-		}
-		if !ind.ge && dot > ind.rhs+tol {
-			return 0, false
-		}
-	}
-	return obj, true
 }

@@ -1,0 +1,285 @@
+package milp
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"spq/internal/rng"
+)
+
+// workerMatrix is the determinism corpus's worker counts: sequential, a
+// small pool, and more workers than a round typically holds.
+var workerMatrix = []int{1, 2, 8}
+
+// solveWith solves the model with the given worker count and fails the test
+// on error.
+func solveWith(t *testing.T, m *Model, workers int, base *Options) *Result {
+	t.Helper()
+	o := Options{}
+	if base != nil {
+		o = *base
+	}
+	o.Parallelism = workers
+	res, err := Solve(m, &o)
+	if err != nil {
+		t.Fatalf("Solve(workers=%d): %v", workers, err)
+	}
+	return res
+}
+
+// assertBitIdentical requires the full determinism contract: Status, Obj,
+// Bound, Nodes, and every element of X equal exactly (==, not within
+// tolerance) across worker counts.
+func assertBitIdentical(t *testing.T, tag string, base, got *Result, workers int) {
+	t.Helper()
+	if got.Status != base.Status {
+		t.Fatalf("%s: workers=%d status %v != sequential %v", tag, workers, got.Status, base.Status)
+	}
+	if got.Obj != base.Obj {
+		t.Fatalf("%s: workers=%d obj %v != sequential %v", tag, workers, got.Obj, base.Obj)
+	}
+	if got.Bound != base.Bound {
+		t.Fatalf("%s: workers=%d bound %v != sequential %v", tag, workers, got.Bound, base.Bound)
+	}
+	if got.Nodes != base.Nodes {
+		t.Fatalf("%s: workers=%d nodes %d != sequential %d", tag, workers, got.Nodes, base.Nodes)
+	}
+	if (got.X == nil) != (base.X == nil) || len(got.X) != len(base.X) {
+		t.Fatalf("%s: workers=%d X shape diverged", tag, workers)
+	}
+	for j := range base.X {
+		if got.X[j] != base.X[j] {
+			t.Fatalf("%s: workers=%d X[%d] = %v != sequential %v", tag, workers, j, got.X[j], base.X[j])
+		}
+	}
+}
+
+// randomIPModel mirrors the TestRandomIPAgainstBruteForce generator: small
+// integer programs with range rows.
+func randomIPModel(s *rng.Stream) *Model {
+	n := 2 + s.IntN(3)
+	m := NewModel()
+	idxs := make([]int, n)
+	for j := 0; j < n; j++ {
+		idxs[j] = m.AddVar(0, 2, math.Round((s.Float64()*6-3)*10)/10, true, "x")
+	}
+	nrows := 1 + s.IntN(2)
+	for r := 0; r < nrows; r++ {
+		coefs := make([]float64, n)
+		for j := range coefs {
+			coefs[j] = math.Round((s.Float64()*4-2)*10) / 10
+		}
+		if s.IntN(2) == 0 {
+			m.AddRow(idxs, coefs, math.Inf(-1), s.Float64()*4)
+		} else {
+			m.AddRow(idxs, coefs, -s.Float64()*2, math.Inf(1))
+		}
+	}
+	return m
+}
+
+// randomIndicatorModel mirrors the big-M property-test generator: indicator
+// constraints under a counting row, the SAA chance-constraint shape.
+func randomIndicatorModel(s *rng.Stream) *Model {
+	const n, scenarios = 3, 6
+	need := 1 + s.IntN(scenarios)
+	m := NewModel()
+	xs := make([]int, n)
+	for j := 0; j < n; j++ {
+		xs[j] = m.AddVar(0, 2, -(s.Float64() + 0.1), true, "x")
+	}
+	ys := make([]int, scenarios)
+	ones := make([]float64, scenarios)
+	for k := 0; k < scenarios; k++ {
+		coefs := make([]float64, n)
+		for j := range coefs {
+			coefs[j] = s.Float64()*4 - 2
+		}
+		ys[k] = m.AddBinary(0, "y")
+		m.AddIndicatorGE(ys[k], xs, coefs, 0.5)
+		ones[k] = 1
+	}
+	m.AddRow(ys, ones, float64(need), Inf)
+	return m
+}
+
+// knapsackModel is a branching-heavy complete-search instance.
+func knapsackModel(s *rng.Stream, n int, cap float64) *Model {
+	m := NewModel()
+	idxs := make([]int, n)
+	w := make([]float64, n)
+	for j := 0; j < n; j++ {
+		idxs[j] = m.AddVar(0, 1, -(1 + s.Float64()), true, "x")
+		w[j] = 1 + s.Float64()*3
+	}
+	m.AddRow(idxs, w, -Inf, cap)
+	return m
+}
+
+// TestParallelDeterminismMatrix is the PR's determinism acceptance test: the
+// property-test corpus solved with worker counts {1, 2, 8} must be
+// bit-identical — Status, Obj, Bound, Nodes, and X compared with == — for
+// every instance. CI additionally runs this under -cpu 1,2,4 -race.
+func TestParallelDeterminismMatrix(t *testing.T) {
+	type instance struct {
+		tag   string
+		model *Model
+		opts  *Options
+	}
+	var corpus []instance
+
+	s := rng.NewStream(11)
+	for trial := 0; trial < 25; trial++ {
+		corpus = append(corpus, instance{tag: fmt.Sprintf("ip%d", trial), model: randomIPModel(s)})
+	}
+	s = rng.NewStream(8)
+	for trial := 0; trial < 15; trial++ {
+		corpus = append(corpus, instance{tag: fmt.Sprintf("ind%d", trial), model: randomIndicatorModel(s)})
+	}
+	s = rng.NewStream(5)
+	corpus = append(corpus,
+		instance{tag: "knap20", model: knapsackModel(s, 20, 10)},
+		// RelGap pruning must be deterministic too: it is evaluated against
+		// the round-start snapshot, never the live incumbent.
+		instance{tag: "knap18gap", model: knapsackModel(s, 18, 9), opts: &Options{RelGap: 0.05}},
+		// A node budget binding mid-search is deterministic as long as no
+		// wall-clock limit is involved: rounds are cut at exact node counts.
+		instance{tag: "knap20nodes", model: knapsackModel(s, 20, 11), opts: &Options{MaxNodes: 50}},
+	)
+
+	for _, inst := range corpus {
+		base := solveWith(t, inst.model, 1, inst.opts)
+		for _, w := range workerMatrix[1:] {
+			got := solveWith(t, inst.model, w, inst.opts)
+			assertBitIdentical(t, inst.tag, base, got, w)
+		}
+		// Negative parallelism (one worker per CPU) is part of the contract.
+		got := solveWith(t, inst.model, -1, inst.opts)
+		assertBitIdentical(t, inst.tag, base, got, -1)
+	}
+}
+
+// TestDeepTreeNodePool is the recursion-depth regression test: a chain
+// instance whose search tree is thousands of levels deep. The old recursive
+// dive grew the goroutine stack by one frame per fixed binary; the explicit
+// node pool keeps ancestry on the heap. Run with a worker pool under -race
+// (the CI milp-race job) this also exercises concurrent node processing on a
+// deep frontier.
+func TestDeepTreeNodePool(t *testing.T) {
+	n := 5000
+	if testing.Short() {
+		n = 1500
+	}
+	m := NewModel()
+	idxs := make([]int, n)
+	ones := make([]float64, n)
+	for j := 0; j < n; j++ {
+		idxs[j] = m.AddBinary(-1, "x") // maximize Σx …
+		ones[j] = 1
+	}
+	m.AddRow(idxs, ones, -Inf, 0.5) // … subject to Σx ≤ 0.5: integer optimum 0
+
+	res, err := Solve(m, &Options{Parallelism: 4, MaxNodes: 4*n + 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every LP relaxation puts 0.5 on the first unfixed binary, so the
+	// search dives a chain that fixes one variable per level: proving the
+	// all-zero optimum requires depth ≈ n.
+	if res.Status != StatusOptimal {
+		t.Fatalf("status = %v, want optimal", res.Status)
+	}
+	if res.Obj != 0 {
+		t.Fatalf("obj = %v, want 0", res.Obj)
+	}
+	for j, x := range res.X {
+		if x != 0 {
+			t.Fatalf("X[%d] = %v, want 0", j, x)
+		}
+	}
+	if res.Nodes < n {
+		t.Fatalf("explored %d nodes; expected a chain of depth ≥ %d", res.Nodes, n)
+	}
+}
+
+// TestCancelDuringRootLP: cancelling while the root LP relaxation is still
+// being solved must abort within iterations, not wait for the solve — the
+// bug this PR fixes. The model's root LP alone takes hundreds of
+// milliseconds.
+func TestCancelDuringRootLP(t *testing.T) {
+	s := rng.NewStream(17)
+	const mrows, n = 150, 300
+	m := NewModel()
+	idxs := make([]int, n)
+	for j := 0; j < n; j++ {
+		idxs[j] = m.AddVar(0, 10, s.Float64()*2-1, false, "x")
+	}
+	for i := 0; i < mrows; i++ {
+		coefs := make([]float64, n)
+		for j := range coefs {
+			coefs[j] = s.Float64()*2 - 1
+		}
+		m.AddRow(idxs, coefs, -5+s.Float64(), 5+s.Float64())
+	}
+
+	cancel := make(chan struct{})
+	done := make(chan *Result, 1)
+	errc := make(chan error, 1)
+	go func() {
+		res, err := Solve(m, &Options{Cancel: cancel})
+		if err != nil {
+			errc <- err
+			return
+		}
+		done <- res
+	}()
+	delay := 50 * time.Millisecond
+	if raceEnabled {
+		delay = 500 * time.Millisecond
+	}
+	time.Sleep(delay)
+	cancelled := time.Now()
+	close(cancel)
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	case res := <-done:
+		latency := time.Since(cancelled)
+		bound := 100 * time.Millisecond
+		if raceEnabled {
+			bound = 2 * time.Second
+		}
+		if latency > bound {
+			t.Fatalf("cancellation latency %v (bound %v)", latency, bound)
+		}
+		if res.Status != StatusLimit {
+			t.Fatalf("status = %v, want limit (cancelled before any incumbent)", res.Status)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("cancelled solve never returned")
+	}
+}
+
+// BenchmarkSolveParallel measures the parallel branch-and-bound on a
+// branching-heavy knapsack at worker counts 1/2/4. On a single-core runner
+// the interesting number is parity (rounds and scratch reuse ≈ free); the
+// speedup row belongs on a multicore host (see DESIGN.md).
+func BenchmarkSolveParallel(b *testing.B) {
+	s := rng.NewStream(5)
+	model := knapsackModel(s, 26, 13)
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Solve(model, &Options{Parallelism: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Status != StatusOptimal {
+					b.Fatalf("status = %v", res.Status)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package milp
+
+// raceEnabled scales latency bounds in parallel_test.go: race
+// instrumentation slows the solver's uninterruptible inner blocks by an
+// order of magnitude.
+const raceEnabled = false

@@ -1,0 +1,517 @@
+package milp
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spq/internal/lp"
+	"spq/internal/par"
+)
+
+// The branch-and-bound search is an explicit node pool rather than a
+// recursive depth-first dive. Nodes are immutable once created: each carries
+// one bound delta (the branching variable's new interval) plus a parent
+// pointer, so any worker can materialize a node's full bound vectors into
+// private scratch space and solve its LP without coordination. This removes
+// the old dive's unbounded goroutine-stack growth (one frame per fixed
+// binary) and is what makes concurrent exploration possible at all.
+//
+// Determinism contract: results (Status, X, Obj, Bound, Nodes) are
+// bit-identical for every Options.Parallelism value. The search processes the
+// frontier in synchronization rounds of at most roundSize nodes. Within a
+// round every node's disposition (prune / branch / incumbent candidate) is a
+// pure function of the node and the round-start incumbent snapshot — workers
+// never read the live incumbent — so the round's outcome is a deterministic
+// map over its nodes and worker count only changes the schedule. Candidates
+// are merged back in frontier order, with objective ties broken toward the
+// smaller canonical path id (down-branch = 0, up-branch = 1, compared
+// lexicographically), so simultaneous equal-objective discoveries in one
+// round resolve identically no matter which worker got there first.
+
+// roundSize is the number of frontier nodes evaluated per synchronization
+// round. It is a fixed constant, NOT derived from Options.Parallelism or
+// GOMAXPROCS: round boundaries decide which incumbent snapshot a node is
+// pruned against, so they must be identical for every worker count. Larger
+// values expose more parallelism per round; smaller values tighten pruning
+// (the snapshot lags the live incumbent by at most one round).
+const roundSize = 64
+
+// bbNode is one open branch-and-bound subproblem: the parent's bounds
+// narrowed by [lo, hi] on branchVar. Nodes are immutable after creation and
+// shared across workers without locks.
+type bbNode struct {
+	parent    *bbNode
+	branchVar int
+	lo, hi    float64
+	digit     byte // canonical path digit: 0 = down (≤ floor), 1 = up (≥ ceil)
+	depth     int32
+}
+
+// pathOf materializes the node's canonical path id (root = empty). Seeded
+// incumbents (InitialX, root rounding) use the empty path, so they win
+// objective ties against any search-discovered point — the same "strict
+// improvement only" rule the sequential dive applied to them.
+func pathOf(n *bbNode) []byte {
+	if n == nil {
+		return nil
+	}
+	p := make([]byte, n.depth)
+	for a := n; a != nil; a = a.parent {
+		p[a.depth-1] = a.digit
+	}
+	return p
+}
+
+// incumbent is a best-known integer-feasible point; x == nil means none.
+type incumbent struct {
+	x    []float64
+	obj  float64
+	path []byte
+}
+
+// replaces reports whether cand supersedes cur: strictly better objective,
+// or an equal objective with a lexicographically smaller canonical path id.
+// bytes.Compare orders a prefix before its extensions, which is the right
+// ordering here: a prefix corresponds to a shallower (earlier) discovery.
+func replaces(cand, cur incumbent) bool {
+	if cand.x == nil {
+		return false
+	}
+	if cur.x == nil {
+		return true
+	}
+	if cand.obj != cur.obj {
+		return cand.obj < cur.obj
+	}
+	return bytes.Compare(cand.path, cur.path) < 0
+}
+
+// bbScratch is per-worker reusable state for materializing node bounds.
+type bbScratch struct {
+	lo, hi []float64
+	stamp  []int // stamp[j] == epoch ⟹ var j already overridden this node
+	epoch  int
+}
+
+// bbResult is the disposition of one processed node.
+type bbResult struct {
+	done     bool      // false when a limit stopped the worker before this node
+	complete bool      // subtree fully resolved (pruned/feasible/infeasible/branched)
+	children []*bbNode // open subproblems, in preferred exploration order
+	cand     incumbent // integer-feasible point found here (x nil if none)
+	err      error
+}
+
+// search carries the state of one Solve invocation. The incumbent and node
+// counter are touched only between rounds (single-goroutine sections);
+// workers communicate exclusively through their bbResult slots.
+type search struct {
+	model  *Model
+	prob   *lp.Problem
+	opts   Options
+	lpOpts lp.Options
+
+	deadline time.Time
+	hasDL    bool
+
+	rootLo, rootHi []float64
+
+	inc       incumbent
+	nodes     int
+	workers   int
+	scratches []*bbScratch
+}
+
+// Solve runs branch and bound on the model.
+func Solve(m *Model, o *Options) (*Result, error) {
+	opts := o.withDefaults()
+	prob, err := m.build()
+	if err != nil {
+		return nil, err
+	}
+	st := &search{
+		model:  m,
+		prob:   prob,
+		opts:   opts,
+		inc:    incumbent{obj: math.Inf(1)},
+		rootLo: make([]float64, len(m.vars)),
+		rootHi: make([]float64, len(m.vars)),
+	}
+	for j, v := range m.vars {
+		st.rootLo[j] = v.lo
+		st.rootHi[j] = v.hi
+	}
+	if opts.TimeLimit > 0 {
+		st.deadline = time.Now().Add(opts.TimeLimit)
+		st.hasDL = true
+	}
+	// Node LP solves inherit the caller's LP options plus the search's
+	// cancellation channel and deadline, so aborts land mid-iteration. A
+	// caller-supplied LP.Cancel/LP.Deadline is kept when the search adds
+	// none of its own (the deadline merge keeps whichever is earlier).
+	st.lpOpts = opts.LP
+	if opts.Cancel != nil {
+		st.lpOpts.Cancel = opts.Cancel
+	}
+	if st.hasDL && (st.lpOpts.Deadline.IsZero() || st.deadline.Before(st.lpOpts.Deadline)) {
+		st.lpOpts.Deadline = st.deadline
+	}
+	st.workers = par.Workers(opts.Parallelism, roundSize)
+	if opts.InitialX != nil {
+		if obj, ok := st.checkFeasible(opts.InitialX); ok {
+			st.inc = incumbent{x: append([]float64(nil), opts.InitialX...), obj: obj}
+		}
+	}
+
+	rootSol, err := lp.SolveWithBounds(prob, st.rootLo, st.rootHi, &st.lpOpts)
+	if err != nil {
+		return nil, err
+	}
+	st.nodes = 1
+	res := &Result{Bound: rootSol.Obj, Coefficients: m.NumCoefficients(), Workers: st.workers}
+	switch rootSol.Status {
+	case lp.StatusInfeasible:
+		if st.inc.x != nil {
+			res.Status, res.X, res.Obj = StatusFeasible, st.inc.x, st.inc.obj
+			return res, nil
+		}
+		res.Status = StatusInfeasible
+		return res, nil
+	case lp.StatusUnbounded:
+		res.Status = StatusUnbounded
+		return res, nil
+	case lp.StatusIterLimit, lp.StatusCancelled:
+		if st.inc.x != nil {
+			res.Status, res.X, res.Obj = StatusFeasible, st.inc.x, st.inc.obj
+			return res, nil
+		}
+		res.Status = StatusLimit
+		return res, nil
+	}
+	// Rounding heuristic on the root relaxation for an early incumbent.
+	st.tryRounding(rootSol.X)
+
+	complete, err := st.run(rootSol)
+	if err != nil {
+		return nil, err
+	}
+	res.Nodes = st.nodes
+	switch {
+	case st.inc.x != nil && complete:
+		res.Status = StatusOptimal
+		res.X, res.Obj = st.inc.x, st.inc.obj
+	case st.inc.x != nil:
+		res.Status = StatusFeasible
+		res.X, res.Obj = st.inc.x, st.inc.obj
+	case complete:
+		res.Status = StatusInfeasible
+	default:
+		res.Status = StatusLimit
+	}
+	return res, nil
+}
+
+// run explores the tree under the already-solved root. It returns whether
+// the search space was exhausted (i.e. the incumbent, if any, is exact).
+func (st *search) run(rootSol *lp.Solution) (bool, error) {
+	rootRes := st.dispose(nil, rootSol, st.inc, st.rootLo, st.rootHi)
+	if replaces(rootRes.cand, st.inc) {
+		st.inc = rootRes.cand
+	}
+	complete := rootRes.complete
+	frontier := rootRes.children
+
+	for len(frontier) > 0 {
+		if st.interrupted() {
+			return false, nil
+		}
+		budget := st.opts.MaxNodes - st.nodes
+		if budget <= 0 {
+			return false, nil
+		}
+		k := roundSize
+		if k > len(frontier) {
+			k = len(frontier)
+		}
+		if k > budget {
+			k = budget
+		}
+		results := make([]bbResult, k)
+		st.processRound(frontier[:k], results)
+
+		// Merge in frontier order: deterministic regardless of which worker
+		// produced which result. Children are queued ahead of the untouched
+		// frontier tail so exploration stays depth-first-shaped.
+		next := make([]*bbNode, 0, len(frontier)+k)
+		cut := false
+		for i := range results {
+			r := &results[i]
+			if r.err != nil {
+				return false, r.err
+			}
+			if !r.done {
+				cut = true // a limit stopped the round partway
+				continue
+			}
+			st.nodes++
+			if !r.complete {
+				complete = false
+			}
+			if replaces(r.cand, st.inc) {
+				st.inc = r.cand
+			}
+			next = append(next, r.children...)
+		}
+		if cut {
+			return false, nil
+		}
+		frontier = append(next, frontier[k:]...)
+	}
+	return complete, nil
+}
+
+// processRound evaluates one round of frontier nodes against a fixed
+// incumbent snapshot. Workers steal the next unclaimed node from the round's
+// shared pool via an atomic cursor; results land in per-node slots.
+func (st *search) processRound(round []*bbNode, results []bbResult) {
+	snap := st.inc
+	workers := st.workers
+	if workers > len(round) {
+		workers = len(round)
+	}
+	if workers <= 1 {
+		sc := st.scratch(0)
+		for i, n := range round {
+			if st.interrupted() {
+				return
+			}
+			results[i] = st.process(n, snap, sc)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		sc := st.scratch(w)
+		wg.Add(1)
+		go func(sc *bbScratch) {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(round) || st.interrupted() {
+					return
+				}
+				results[i] = st.process(round[i], snap, sc)
+			}
+		}(sc)
+	}
+	wg.Wait()
+}
+
+// scratch returns worker w's reusable bound buffers, allocating on first use.
+// Called only between rounds / before worker launch.
+func (st *search) scratch(w int) *bbScratch {
+	for len(st.scratches) <= w {
+		st.scratches = append(st.scratches, nil)
+	}
+	if st.scratches[w] == nil {
+		n := len(st.model.vars)
+		st.scratches[w] = &bbScratch{
+			lo:    make([]float64, n),
+			hi:    make([]float64, n),
+			stamp: make([]int, n),
+		}
+	}
+	return st.scratches[w]
+}
+
+// process materializes a node's bounds, solves its LP relaxation, and
+// returns its disposition relative to the incumbent snapshot.
+func (st *search) process(n *bbNode, snap incumbent, sc *bbScratch) bbResult {
+	sc.epoch++
+	copy(sc.lo, st.rootLo)
+	copy(sc.hi, st.rootHi)
+	// Walk leaf → root; the first (deepest) override of a variable wins,
+	// since branch intervals on one variable nest along a path.
+	for a := n; a != nil; a = a.parent {
+		if sc.stamp[a.branchVar] != sc.epoch {
+			sc.stamp[a.branchVar] = sc.epoch
+			sc.lo[a.branchVar], sc.hi[a.branchVar] = a.lo, a.hi
+		}
+	}
+	sol, err := lp.SolveWithBounds(st.prob, sc.lo, sc.hi, &st.lpOpts)
+	if err != nil {
+		return bbResult{done: true, err: err}
+	}
+	return st.dispose(n, sol, snap, sc.lo, sc.hi)
+}
+
+// dispose classifies a solved node: prune, record an integer-feasible
+// candidate, or branch into children. It must depend only on its arguments
+// (never the live incumbent) to keep rounds deterministic.
+func (st *search) dispose(n *bbNode, sol *lp.Solution, snap incumbent, lo, hi []float64) bbResult {
+	switch sol.Status {
+	case lp.StatusInfeasible:
+		return bbResult{done: true, complete: true}
+	case lp.StatusIterLimit, lp.StatusCancelled, lp.StatusUnbounded:
+		// The subtree's bound cannot be trusted: leave it unresolved.
+		return bbResult{done: true}
+	}
+	if snap.x != nil && sol.Obj >= snap.obj-1e-9 {
+		return bbResult{done: true, complete: true} // bound prune
+	}
+	if st.gapMet(snap, sol.Obj) {
+		return bbResult{done: true, complete: true}
+	}
+	bv := st.pickBranchVar(sol.X)
+	if bv < 0 {
+		// Integer feasible: candidate incumbent.
+		return bbResult{done: true, complete: true,
+			cand: incumbent{x: st.roundedCopy(sol.X), obj: sol.Obj, path: pathOf(n)}}
+	}
+	val := sol.X[bv]
+	floorV := math.Floor(val)
+	depth := int32(1)
+	if n != nil {
+		depth = n.depth + 1
+	}
+	down := &bbNode{parent: n, branchVar: bv, lo: lo[bv], hi: floorV, digit: 0, depth: depth}
+	up := &bbNode{parent: n, branchVar: bv, lo: floorV + 1, hi: hi[bv], digit: 1, depth: depth}
+	// Explore the side nearer the LP value first.
+	first, second := down, up
+	if val-floorV > 0.5 {
+		first, second = up, down
+	}
+	children := make([]*bbNode, 0, 2)
+	for _, c := range []*bbNode{first, second} {
+		if c.lo <= c.hi {
+			children = append(children, c)
+		}
+	}
+	return bbResult{done: true, complete: true, children: children}
+}
+
+// interrupted reports whether the search hit its wall-clock limit or was
+// cancelled. Safe for concurrent use (reads immutable fields only).
+func (st *search) interrupted() bool {
+	if st.opts.Cancel != nil {
+		select {
+		case <-st.opts.Cancel:
+			return true
+		default:
+		}
+	}
+	return st.hasDL && time.Now().After(st.deadline)
+}
+
+// gapMet reports whether the snapshot incumbent is within the requested
+// relative gap of the given bound.
+func (st *search) gapMet(snap incumbent, bound float64) bool {
+	if snap.x == nil || st.opts.RelGap <= 0 {
+		return false
+	}
+	denom := math.Abs(snap.obj)
+	if denom < 1e-12 {
+		denom = 1e-12
+	}
+	return (snap.obj-bound)/denom <= st.opts.RelGap
+}
+
+// pickBranchVar returns the most fractional integer variable, or -1 if the
+// point is integer feasible.
+func (st *search) pickBranchVar(x []float64) int {
+	best := -1
+	bestScore := math.Inf(1) // |frac − 0.5|: most-fractional branching
+	for j, v := range st.model.vars {
+		if !v.integer {
+			continue
+		}
+		f := x[j] - math.Floor(x[j])
+		if math.Min(f, 1-f) <= st.opts.IntTol {
+			continue // effectively integral
+		}
+		score := math.Abs(f - 0.5)
+		if score < bestScore {
+			best, bestScore = j, score
+		}
+	}
+	return best
+}
+
+// roundedCopy snaps near-integer values of integer variables exactly.
+func (st *search) roundedCopy(x []float64) []float64 {
+	out := append([]float64(nil), x...)
+	for j, v := range st.model.vars {
+		if v.integer {
+			out[j] = math.Round(out[j])
+		}
+	}
+	return out
+}
+
+// tryRounding rounds the root relaxation point and installs it as incumbent
+// if it is feasible for the full model.
+func (st *search) tryRounding(x []float64) {
+	cand := st.roundedCopy(x)
+	for j := range cand {
+		if cand[j] < st.rootLo[j] {
+			cand[j] = st.rootLo[j]
+		}
+		if cand[j] > st.rootHi[j] {
+			cand[j] = st.rootHi[j]
+		}
+	}
+	if obj, ok := st.checkFeasible(cand); ok {
+		c := incumbent{x: cand, obj: obj}
+		if replaces(c, st.inc) {
+			st.inc = c
+		}
+	}
+}
+
+// checkFeasible verifies a candidate point against all rows, indicator
+// constraints, bounds, and integrality; it returns the objective value.
+func (st *search) checkFeasible(x []float64) (float64, bool) {
+	const tol = 1e-6
+	if len(x) != len(st.model.vars) {
+		return 0, false
+	}
+	obj := 0.0
+	for j, v := range st.model.vars {
+		if x[j] < v.lo-tol || x[j] > v.hi+tol {
+			return 0, false
+		}
+		if v.integer && math.Abs(x[j]-math.Round(x[j])) > tol {
+			return 0, false
+		}
+		obj += v.obj * x[j]
+	}
+	for _, r := range st.model.rows {
+		dot := 0.0
+		for k, j := range r.idxs {
+			dot += r.coefs[k] * x[j]
+		}
+		if dot < r.lo-tol || dot > r.hi+tol {
+			return 0, false
+		}
+	}
+	for _, ind := range st.model.indicators {
+		if math.Round(x[ind.bin]) != 1 {
+			continue
+		}
+		dot := 0.0
+		for k, j := range ind.idxs {
+			dot += ind.coefs[k] * x[j]
+		}
+		if ind.ge && dot < ind.rhs-tol {
+			return 0, false
+		}
+		if !ind.ge && dot > ind.rhs+tol {
+			return 0, false
+		}
+	}
+	return obj, true
+}
