@@ -1,14 +1,18 @@
 package client
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"time"
 )
 
 // This file is the v1 wire contract: the JSON types exchanged by the
 // /v1/queries endpoints. It is shared by the server (internal/engine
 // marshals these) and the Client, so the two can never drift. Everything
-// here is plain data — no behaviour beyond Error.
+// here is plain data — no behaviour beyond Error and the canonical
+// SolveSpec.Key rendering.
 
 // Stable error codes of the v1 error envelope. Codes are part of the API
 // contract: clients may switch on them; messages are human-readable and may
@@ -33,6 +37,12 @@ const (
 	CodeTimeout = "timeout"
 	// CodeCancelled reports a query cancelled by the caller.
 	CodeCancelled = "cancelled"
+	// CodeInfeasible reports a query whose deterministic constraints are
+	// unsatisfiable — a property of the request, not a server fault. It is
+	// distinguished from CodeInvalidQuery so that distributed callers (the
+	// remote solver dispatching sub-problems) can tell "this sub-problem has
+	// no solution" from "this worker is misconfigured" without re-solving.
+	CodeInfeasible = "infeasible"
 	// CodeInternal reports a server-side evaluation failure (retryable).
 	CodeInternal = "internal"
 )
@@ -64,6 +74,12 @@ type ErrorEnvelope struct {
 // SolveOptions are the typed evaluation options of a v1 request (the
 // flat-field bag of the legacy /query body, structured). Zero values take
 // the server's defaults; see core.Options for field semantics.
+//
+// The set covers the full determinism domain of an evaluation: a request
+// that pins every field (seeds included) is answered bit-identically by any
+// server holding the same relation, which is what lets the remote solver
+// dispatch sub-problems to worker daemons and the result cache replicate
+// entries between peers.
 type SolveOptions struct {
 	Seed           uint64  `json:"seed,omitempty"`
 	ValidationSeed uint64  `json:"validation_seed,omitempty"`
@@ -76,6 +92,16 @@ type SolveOptions struct {
 	Epsilon        float64 `json:"epsilon,omitempty"`
 	MaxCSAIters    int     `json:"max_csa_iters,omitempty"`
 	Parallelism    int     `json:"parallelism,omitempty"`
+	// DisableAcceleration turns off the monotone-objective summary
+	// modification (ablations).
+	DisableAcceleration bool `json:"disable_acceleration,omitempty"`
+	// TimeLimitMS / SolverTimeMS / SolverNodes / RelGap are the evaluation
+	// and per-MILP-solve budgets. When a budget binds, the result depends on
+	// it, so sub-problem dispatch forwards them verbatim.
+	TimeLimitMS  int64   `json:"time_limit_ms,omitempty"`
+	SolverTimeMS int64   `json:"solver_time_ms,omitempty"`
+	SolverNodes  int     `json:"solver_nodes,omitempty"`
+	RelGap       float64 `json:"rel_gap,omitempty"`
 }
 
 // SketchOptions tune the partition-aware SketchRefine pipeline for method
@@ -89,13 +115,62 @@ type SketchOptions struct {
 	Strategy string `json:"strategy,omitempty"`
 }
 
+// SolveSpec restricts a submission to a sub-problem of the named table: the
+// mechanism the remote solver uses to ship one sketch shard (or any other
+// relation view) to a worker daemon as an ordinary v1 job. The worker
+// rebuilds exactly the coordinator's problem: it selects Subset from the
+// base relation (preserving each tuple's substream identity, so stochastic
+// behaviour is unchanged), lowers the query over that view, and then applies
+// the variable-bound overrides.
+type SolveSpec struct {
+	// Subset lists base-relation tuple indices, strictly ascending. The
+	// query's WHERE clause (if any) is applied on top; for sub-problems
+	// derived from an already-filtered view this re-selects every row.
+	Subset []int `json:"subset"`
+	// VarHi / VarLo, when non-nil, override the translation-derived
+	// per-variable multiplicity bounds (length must equal the built
+	// problem's variable count). The sketch phase inflates medoid bounds to
+	// group capacity; the override carries that mutation across the wire.
+	VarHi []float64 `json:"var_hi,omitempty"`
+	VarLo []float64 `json:"var_lo,omitempty"`
+}
+
+// Key renders the spec canonically (FNV-1a over the subset and the exact
+// bit patterns of the bound overrides). It is node-independent — two
+// processes holding the same relation derive the same key — so it joins the
+// result-cache key and seeds the remote solver's rendezvous hash.
+func (s *SolveSpec) Key() string {
+	if s == nil {
+		return ""
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	mix := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	for _, t := range s.Subset {
+		mix(uint64(t))
+	}
+	mix(0xffffffffffffffff) // domain separator between sections
+	for _, v := range s.VarHi {
+		mix(math.Float64bits(v))
+	}
+	mix(0xfffffffffffffffe)
+	for _, v := range s.VarLo {
+		mix(math.Float64bits(v))
+	}
+	return fmt.Sprintf("n=%d,hi=%d,lo=%d,h=%016x", len(s.Subset), len(s.VarHi), len(s.VarLo), h.Sum64())
+}
+
 // SubmitRequest is the body of POST /v1/queries (and one element of a
 // batch submission).
 type SubmitRequest struct {
 	// Query is the sPaQL text.
 	Query string `json:"query"`
 	// Method selects the algorithm: "" or "summarysearch" (default),
-	// "naive", or "sketch".
+	// "naive", "sketch", or any solver the server registered (e.g.
+	// "remote" on a coordinator daemon).
 	Method string `json:"method,omitempty"`
 	// TimeoutMS bounds the evaluation in milliseconds (0 = server default).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -103,6 +178,10 @@ type SubmitRequest struct {
 	Options *SolveOptions `json:"options,omitempty"`
 	// Sketch tunes the sketch pipeline for method "sketch".
 	Sketch *SketchOptions `json:"sketch,omitempty"`
+	// Solve, when non-nil, restricts the job to a sub-problem of the
+	// query's table (solver-to-solver dispatch). The job's result then
+	// carries the raw solution (QueryResult.Raw).
+	Solve *SolveSpec `json:"solve,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/queries:batch.
@@ -185,6 +264,45 @@ type SketchInfo struct {
 	FellBack   bool `json:"fell_back"`
 }
 
+// SolveIteration is one optimize/validate round of a raw solution's
+// history. Status is the integer value of the solver's milp.Status (0
+// optimal, 1 feasible, 2 infeasible, 3 unbounded, 4 limit); it is carried
+// so budget-cut evaluations stay recognizable across the wire (servers
+// refuse to cache them).
+type SolveIteration struct {
+	M            int     `json:"m"`
+	Z            int     `json:"z,omitempty"`
+	Status       int     `json:"status"`
+	Coefficients int     `json:"coefficients,omitempty"`
+	Nodes        int     `json:"nodes,omitempty"`
+	Feasible     bool    `json:"feasible"`
+	Objective    float64 `json:"objective"`
+}
+
+// SolveResult is the raw, solver-fidelity solution of a job: exact float64
+// multiplicities over the solved view's rows (Go's JSON encoding round-trips
+// float64 exactly), plus the validation and accounting fields of
+// core.Solution. It is rendered for SolveSpec submissions — the remote
+// solver reconstructs a bit-identical core.Solution from it — and it is the
+// payload the replicated result cache ships between peers. EpsUpperInf
+// stands in for +Inf, which JSON cannot carry.
+type SolveResult struct {
+	Feasible      bool             `json:"feasible"`
+	Objective     float64          `json:"objective"`
+	EpsUpper      float64          `json:"eps_upper,omitempty"`
+	EpsUpperInf   bool             `json:"eps_upper_inf,omitempty"`
+	Surpluses     []float64        `json:"surpluses,omitempty"`
+	SurplusCIHalf []float64        `json:"surplus_ci_half,omitempty"`
+	M             int              `json:"m"`
+	Z             int              `json:"z,omitempty"`
+	X             []float64        `json:"x"`
+	Iterations    []SolveIteration `json:"iterations,omitempty"`
+	MILPSolves    int              `json:"milp_solves,omitempty"`
+	MILPNodes     int              `json:"milp_nodes,omitempty"`
+	MILPWorkers   int              `json:"milp_workers,omitempty"`
+	TotalMS       int64            `json:"total_ms,omitempty"`
+}
+
 // QueryResult is the final result of a succeeded job.
 type QueryResult struct {
 	Feasible    bool           `json:"feasible"`
@@ -205,6 +323,10 @@ type QueryResult struct {
 	// the evaluation wall-clock.
 	WaitMS  int64 `json:"wait_ms"`
 	SolveMS int64 `json:"solve_ms"`
+	// Raw is the solver-fidelity solution, rendered only for SolveSpec
+	// submissions (solver-to-solver dispatch needs exact multiplicities;
+	// ordinary clients get the compact Package above).
+	Raw *SolveResult `json:"raw,omitempty"`
 }
 
 // Job is the resource served by GET /v1/queries/{id}: submission echo,

@@ -13,10 +13,14 @@
 // With -server the query is not evaluated in-process: it is submitted to a
 // running spqd through the v1 async API (spq/client), streaming progress
 // (with -trace) and printing the remote result. The spqd must have the
-// query's table loaded (e.g. the same -workload):
+// query's table loaded (e.g. the same -workload). In server mode -method is
+// passed through verbatim, so any solver the daemon registered — e.g.
+// "remote" on a coordinator — is reachable too:
 //
 //	spqd -workload portfolio -n 200 &
 //	spq -workload portfolio -paper-query Q1 -n 200 -server http://localhost:8723
+//
+// OPERATIONS.md holds the canonical flag reference for both spq and spqd.
 package main
 
 import (
@@ -43,7 +47,7 @@ func main() {
 		list       = flag.Bool("list", false, "list the workload's queries and exit")
 		n          = flag.Int("n", 300, "workload size (tuples; stocks for portfolio)")
 		seed       = flag.Uint64("seed", 42, "random seed (data and optimization scenarios)")
-		method     = flag.String("method", "summarysearch", "evaluation method: summarysearch | naive | sketch")
+		method     = flag.String("method", "summarysearch", "evaluation method: summarysearch | naive | sketch (with -server: any method the daemon serves)")
 		valM       = flag.Int("validation", 5000, "out-of-sample validation scenarios (M̂)")
 		initialM   = flag.Int("m", 20, "initial optimization scenarios (M)")
 		maxM       = flag.Int("maxm", 200, "maximum optimization scenarios")

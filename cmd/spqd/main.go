@@ -1,35 +1,29 @@
 // Command spqd is the long-running sPaQL query daemon: it loads one or more
 // of the built-in paper workloads (or a CSV table) into an in-memory
-// database and serves the concurrent execution engine's HTTP/JSON API.
+// database and serves the concurrent execution engine's HTTP/JSON API —
+// the legacy synchronous POST /query plus the versioned async API under
+// /v1/queries (see DESIGN.md "API v1" and the spq/client Go client).
 //
 //	spqd -addr :8723 -workload portfolio,galaxy -n 300
 //	curl -s localhost:8723/healthz
 //	curl -s localhost:8723/stats
-//	curl -s -X POST localhost:8723/query -d '{
-//	  "query": "SELECT PACKAGE(*) FROM trades_2day_all SUCH THAT SUM(price) <= 1000 AND SUM(gain) >= -10 WITH PROBABILITY >= 0.9 MAXIMIZE EXPECTED SUM(gain)",
-//	  "validation_m": 2000, "max_m": 60, "fixed_z": 1
-//	}'
-//
-// Queries run through two surfaces: the legacy synchronous POST /query,
-// and the versioned async API — POST /v1/queries submits a job, GET
-// /v1/queries/{id} polls it (with ?since/?wait_ms progress streaming),
-// DELETE cancels, POST /v1/queries:batch submits many (see DESIGN.md "API
-// v1" and the spq/client Go client):
-//
 //	curl -s -X POST localhost:8723/v1/queries -d '{
-//	  "query": "...", "options": {"validation_m": 2000, "max_m": 60}
+//	  "query": "SELECT PACKAGE(*) FROM trades_2day_all SUCH THAT SUM(price) <= 1000 AND SUM(gain) >= -10 WITH PROBABILITY >= 0.9 MAXIMIZE EXPECTED SUM(gain)",
+//	  "options": {"validation_m": 2000, "max_m": 60, "fixed_z": 1}
 //	}'
 //	curl -s 'localhost:8723/v1/queries/q-1?wait_ms=5000'
 //
-// Admission control (-max-inflight, -max-queue) bounds concurrent solves
-// and -max-jobs the active async jobs; excess load is rejected with HTTP
-// 429 (Retry-After set). Every query is bounded by -timeout unless its
-// request carries a tighter timeout_ms; -job-history finished jobs stay
-// pollable. Identical deterministic requests are answered from a result
-// LRU (-result-cache) without solving; "method": "sketch" (with optional
-// group_size/shards/max_candidates) selects the partition-parallel
-// SketchRefine pipeline. GET /stats reports admission-queue depth, both
-// caches, shard counters, and the job-manager counters in one payload.
+// Daemons compose into fleets: -workers turns this instance into a
+// coordinator that dispatches sketch-shard sub-solves to worker daemons
+// (method "remote", or -solver remote to route every sketch sub-problem
+// there), and -peers write-through-replicates the result cache between
+// load-balanced instances. Fleet members must load identical data
+// (identical -workload/-n/-seed/-means), which makes every node's answers
+// bit-identical by construction.
+//
+// OPERATIONS.md is the canonical reference for every flag, the /stats
+// field glossary, fleet topologies, and tuning; this comment only sketches
+// the surface.
 package main
 
 import (
@@ -38,7 +32,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -48,57 +44,133 @@ import (
 	"time"
 
 	"spq"
+	"spq/internal/core"
 	"spq/internal/engine"
+	"spq/internal/remote"
+	"spq/internal/resultcache"
 	"spq/internal/workload"
 )
 
+// config collects every flag; OPERATIONS.md documents them.
+type config struct {
+	addr      string
+	workloads string
+	csvPath   string
+	n         int
+	seed      uint64
+	meansM    int
+
+	maxInFlight int
+	maxQueue    int
+	cacheSize   int
+	resultCache int
+	timeout     time.Duration
+	parallelism int
+	maxJobs     int
+	jobHistory  int
+
+	workers        string
+	solver         string
+	remoteInflight int
+	remoteFallback bool
+	peers          string
+}
+
 func main() {
-	var (
-		addr        = flag.String("addr", ":8723", "listen address")
-		workloads   = flag.String("workload", "portfolio", "comma-separated built-in workloads to load: galaxy | portfolio | tpch")
-		csvPath     = flag.String("csv", "", "CSV file to load as an additional (deterministic) table")
-		n           = flag.Int("n", 300, "workload size (tuples; stocks for portfolio)")
-		seed        = flag.Uint64("seed", 42, "workload data seed")
-		meansM      = flag.Int("means", 2000, "scenarios for attribute-mean precomputation")
-		maxInFlight = flag.Int("max-inflight", 0, "max concurrent solves (0 = one per CPU)")
-		maxQueue    = flag.Int("max-queue", 0, "max queries waiting for a solve slot (0 = 4x max-inflight)")
-		cacheSize   = flag.Int("cache", 128, "plan cache capacity in entries (negative disables)")
-		resultCache = flag.Int("result-cache", 256, "result cache capacity in entries (negative disables)")
-		timeout     = flag.Duration("timeout", 60*time.Second, "default per-query timeout")
-		parallelism = flag.Int("parallelism", 0, "per-query worker count (0 = one per CPU)")
-		maxJobs     = flag.Int("max-jobs", 0, "max active async jobs (0 = max-inflight + max-queue)")
-		jobHistory  = flag.Int("job-history", 0, "finished jobs kept pollable (0 = 64, negative disables)")
-	)
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8723", "listen address")
+	flag.StringVar(&cfg.workloads, "workload", "portfolio", "comma-separated built-in workloads to load: galaxy | portfolio | tpch")
+	flag.StringVar(&cfg.csvPath, "csv", "", "CSV file to load as an additional (deterministic) table")
+	flag.IntVar(&cfg.n, "n", 300, "workload size (tuples; stocks for portfolio)")
+	flag.Uint64Var(&cfg.seed, "seed", 42, "workload data seed (fleet members must match)")
+	flag.IntVar(&cfg.meansM, "means", 2000, "scenarios for attribute-mean precomputation")
+	flag.IntVar(&cfg.maxInFlight, "max-inflight", 0, "max concurrent solves (0 = one per CPU)")
+	flag.IntVar(&cfg.maxQueue, "max-queue", 0, "max queries waiting for a solve slot (0 = 4x max-inflight)")
+	flag.IntVar(&cfg.cacheSize, "cache", 128, "plan cache capacity in entries (negative disables)")
+	flag.IntVar(&cfg.resultCache, "result-cache", 256, "result cache capacity in entries (negative disables)")
+	flag.DurationVar(&cfg.timeout, "timeout", 60*time.Second, "default per-query timeout")
+	flag.IntVar(&cfg.parallelism, "parallelism", 0, "per-query worker count (0 = one per CPU)")
+	flag.IntVar(&cfg.maxJobs, "max-jobs", 0, "max active async jobs (0 = max-inflight + max-queue)")
+	flag.IntVar(&cfg.jobHistory, "job-history", 0, "finished jobs kept pollable (0 = 64, negative disables)")
+	flag.StringVar(&cfg.workers, "workers", "", "comma-separated worker spqd base URLs; enables the \"remote\" solver (coordinator mode)")
+	flag.StringVar(&cfg.solver, "solver", "", "solver for sketch sub-problems: empty = local summarysearch, \"remote\" = dispatch shards to -workers")
+	flag.IntVar(&cfg.remoteInflight, "remote-inflight", 0, "max concurrent remote sub-solve dispatches (0 = 4 per worker)")
+	flag.BoolVar(&cfg.remoteFallback, "remote-fallback", true, "re-solve locally when a worker fails (false surfaces the worker error)")
+	flag.StringVar(&cfg.peers, "peers", "", "comma-separated peer spqd base URLs to replicate the result cache with")
 	flag.Parse()
 
-	if err := run(*addr, *workloads, *csvPath, *n, *seed, *meansM,
-		*maxInFlight, *maxQueue, *cacheSize, *resultCache, *timeout, *parallelism, *maxJobs, *jobHistory); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "spqd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, workloads, csvPath string, n int, seed uint64, meansM,
-	maxInFlight, maxQueue, cacheSize, resultCache int, timeout time.Duration, parallelism, maxJobs, jobHistory int) error {
+// splitURLs parses a comma-separated URL list flag.
+func splitURLs(s string) []string {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
+}
 
+// selfWorker best-effort-detects a worker URL that plainly points back at
+// this daemon (a loopback/unspecified host with our own listen port).
+// Dispatching sub-solves to yourself deadlocks admission — parent queries
+// hold solve slots while their shard jobs wait for the same slots — so the
+// obvious misconfiguration is refused at startup. Cross-host cycles cannot
+// be detected here; OPERATIONS.md documents that topologies must stay one
+// level deep.
+func selfWorker(workerURL, listenAddr string) bool {
+	u, err := url.Parse(workerURL)
+	if err != nil {
+		return false
+	}
+	_, ownPort, err := net.SplitHostPort(listenAddr)
+	if err != nil {
+		return false
+	}
+	wport := u.Port()
+	if wport == "" {
+		if u.Scheme == "https" {
+			wport = "443"
+		} else {
+			wport = "80"
+		}
+	}
+	if wport != ownPort {
+		return false
+	}
+	whost := u.Hostname()
+	ownHost, _, _ := net.SplitHostPort(listenAddr)
+	if whost == "localhost" || whost == "" || whost == ownHost {
+		return true
+	}
+	ip := net.ParseIP(whost)
+	return ip != nil && (ip.IsLoopback() || ip.IsUnspecified())
+}
+
+func run(cfg config) error {
 	db := spq.NewDB()
-	db.MeansM = meansM
+	db.MeansM = cfg.meansM
 
 	var tables []string
-	for _, wname := range strings.Split(workloads, ",") {
+	for _, wname := range strings.Split(cfg.workloads, ",") {
 		wname = strings.TrimSpace(wname)
 		if wname == "" {
 			continue
 		}
-		cfg := workload.Config{N: n, Seed: seed, MeansM: meansM}
+		wcfg := workload.Config{N: cfg.n, Seed: cfg.seed, MeansM: cfg.meansM}
 		var inst *workload.Instance
 		switch wname {
 		case "galaxy":
-			inst = workload.Galaxy(cfg)
+			inst = workload.Galaxy(wcfg)
 		case "portfolio":
-			inst = workload.Portfolio(cfg)
+			inst = workload.Portfolio(wcfg)
 		case "tpch":
-			inst = workload.TPCH(cfg)
+			inst = workload.TPCH(wcfg)
 		default:
 			return fmt.Errorf("unknown workload %q (want galaxy, portfolio, or tpch)", wname)
 		}
@@ -109,12 +181,12 @@ func run(addr, workloads, csvPath string, n int, seed uint64, meansM,
 			tables = append(tables, fmt.Sprintf("%s (%d tuples, %s)", name, rel.N(), wname))
 		}
 	}
-	if csvPath != "" {
-		f, err := os.Open(csvPath)
+	if cfg.csvPath != "" {
+		f, err := os.Open(cfg.csvPath)
 		if err != nil {
 			return err
 		}
-		name := strings.TrimSuffix(filepath.Base(csvPath), filepath.Ext(csvPath))
+		name := strings.TrimSuffix(filepath.Base(cfg.csvPath), filepath.Ext(cfg.csvPath))
 		rel, err := spq.ReadCSV(name, f)
 		f.Close()
 		if err != nil {
@@ -130,19 +202,70 @@ func run(addr, workloads, csvPath string, n int, seed uint64, meansM,
 	}
 	sort.Strings(tables)
 
-	eng := spq.NewEngine(db, &engine.Options{
-		MaxInFlight:     maxInFlight,
-		MaxQueue:        maxQueue,
-		PlanCacheSize:   cacheSize,
-		ResultCacheSize: resultCache,
-		DefaultTimeout:  timeout,
-		Parallelism:     parallelism,
-		MaxJobs:         maxJobs,
-		JobHistory:      jobHistory,
-	})
+	eopts := &engine.Options{
+		MaxInFlight:     cfg.maxInFlight,
+		MaxQueue:        cfg.maxQueue,
+		PlanCacheSize:   cfg.cacheSize,
+		ResultCacheSize: cfg.resultCache,
+		DefaultTimeout:  cfg.timeout,
+		Parallelism:     cfg.parallelism,
+		MaxJobs:         cfg.maxJobs,
+		JobHistory:      cfg.jobHistory,
+	}
+
+	// Coordinator mode: build the remote solver over the worker pool and
+	// register it, so method "remote" resolves and -solver remote can route
+	// sketch sub-problems through it.
+	if workers := splitURLs(cfg.workers); len(workers) > 0 {
+		for _, w := range workers {
+			if selfWorker(w, cfg.addr) {
+				return fmt.Errorf("-workers %s points at this daemon's own address %s (self-dispatch deadlocks admission; see OPERATIONS.md)", w, cfg.addr)
+			}
+		}
+		rs, err := remote.New(remote.Options{
+			Workers:     workers,
+			MaxInFlight: cfg.remoteInflight,
+			NoFallback:  !cfg.remoteFallback,
+			Logf:        log.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		if err := core.RegisterSolver(rs); err != nil {
+			return err
+		}
+		eopts.RemoteStats = rs.Stats
+		log.Printf("spqd: coordinator mode, %d workers: %s", len(workers), strings.Join(workers, ", "))
+	} else if cfg.solver == "remote" {
+		return errors.New("-solver remote requires -workers")
+	}
+	if cfg.solver != "" {
+		s, err := core.SolverByName(cfg.solver)
+		if err != nil {
+			return fmt.Errorf("-solver: %w", err)
+		}
+		eopts.SketchSolver = s
+	}
+
+	// Fleet mode: replicate the result cache with the listed peers. The
+	// replicating store also mounts the /v1/cache peer endpoint, so list
+	// peers symmetrically on every node.
+	var repl *resultcache.Replicating
+	if peers := splitURLs(cfg.peers); len(peers) > 0 && cfg.resultCache >= 0 {
+		size := cfg.resultCache
+		if size == 0 {
+			size = 256
+		}
+		repl = resultcache.NewReplicating(resultcache.NewMemory(size), peers, nil)
+		defer repl.Close()
+		eopts.ResultCache = repl
+		log.Printf("spqd: replicating result cache with %d peers: %s", len(peers), strings.Join(peers, ", "))
+	}
+
+	eng := spq.NewEngine(db, eopts)
 
 	srv := &http.Server{
-		Addr:    addr,
+		Addr:    cfg.addr,
 		Handler: logRequests(eng.Handler()),
 		// Bound connection-level reads so trickling clients cannot pin
 		// goroutines forever. WriteTimeout stays 0: responses legitimately
@@ -154,7 +277,7 @@ func run(addr, workloads, csvPath string, n int, seed uint64, meansM,
 
 	done := make(chan error, 1)
 	go func() {
-		log.Printf("spqd: listening on %s", addr)
+		log.Printf("spqd: listening on %s", cfg.addr)
 		for _, t := range tables {
 			log.Printf("spqd: table %s", t)
 		}

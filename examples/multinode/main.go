@@ -1,0 +1,175 @@
+// The multinode example runs a three-daemon fleet in one process — one
+// coordinator and two workers, the same topology `spqd -workers` deploys
+// across machines — and shows the two multi-node mechanisms working:
+//
+//  1. Remote solving: the coordinator evaluates a sketch query whose shard
+//     sub-solves are dispatched to the workers as v1 jobs (the "remote"
+//     solver behind the core.Solver seam), and the result is verified
+//     bit-identical to solving everything locally.
+//  2. Result-cache replication: the workers are peers; a query solved on
+//     one is answered by the other from its replicated cache without
+//     solving.
+//
+// Every node loads the portfolio workload from the same seed — the
+// shared-data assumption a real fleet meets the same way. Run with:
+//
+//	go run ./examples/multinode
+//
+// See OPERATIONS.md for the corresponding spqd invocations on real hosts.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"reflect"
+	"time"
+
+	"spq"
+	"spq/internal/resultcache"
+	"spq/internal/workload"
+)
+
+const query = `SELECT PACKAGE(*) FROM trades_2day_all SUCH THAT
+	SUM(price) <= 600 AND
+	SUM(gain) >= -10 WITH PROBABILITY >= 0.8
+	MAXIMIZE EXPECTED SUM(gain)`
+
+// newDB loads the shared workload; every fleet member calls it with the
+// same configuration, which is what makes their answers interchangeable.
+func newDB() *spq.DB {
+	db := spq.NewDB()
+	db.MeansM = 500
+	inst := workload.Portfolio(workload.Config{N: 120, Seed: 42, MeansM: 500})
+	for _, rel := range inst.Tables {
+		if err := db.Register(rel); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return db
+}
+
+// serve starts one daemon on a random local port and returns its base URL.
+func serve(eng *spq.Engine) string {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, eng.Handler())
+	return "http://" + ln.Addr().String()
+}
+
+func options() *spq.Options {
+	return &spq.Options{Seed: 7, ValidationM: 1000, InitialM: 10, IncrementM: 10, MaxM: 40}
+}
+
+func request() spq.EngineRequest {
+	return spq.EngineRequest{
+		Query:   query,
+		Method:  "sketch",
+		Options: options(),
+		Sketch:  &spq.SketchOptions{GroupSize: 8, MaxCandidates: 32, Shards: 2, Seed: 3},
+	}
+}
+
+func main() {
+	fail := func(format string, args ...any) {
+		fmt.Printf("FAIL: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	// Two worker daemons, peered with each other so their result caches
+	// replicate (mirrors `spqd -peers`).
+	lnA, _ := net.Listen("tcp", "127.0.0.1:0")
+	lnB, _ := net.Listen("tcp", "127.0.0.1:0")
+	urlA := "http://" + lnA.Addr().String()
+	urlB := "http://" + lnB.Addr().String()
+
+	storeA := resultcache.NewReplicating(resultcache.NewMemory(256), []string{urlB}, nil)
+	storeB := resultcache.NewReplicating(resultcache.NewMemory(256), []string{urlA}, nil)
+	workerA := spq.NewEngine(newDB(), &spq.EngineOptions{ResultCache: storeA})
+	workerB := spq.NewEngine(newDB(), &spq.EngineOptions{ResultCache: storeB})
+	go http.Serve(lnA, workerA.Handler())
+	go http.Serve(lnB, workerB.Handler())
+	fmt.Printf("workers up: %s %s\n", urlA, urlB)
+
+	// The coordinator daemon dispatches sketch sub-solves to the workers
+	// (mirrors `spqd -workers ... -solver remote`).
+	rs, err := spq.NewRemoteSolver(spq.RemoteSolverOptions{
+		Workers: []string{urlA, urlB},
+		Logf:    log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	coordinator := spq.NewEngine(newDB(), &spq.EngineOptions{
+		SketchSolver: rs,
+		RemoteStats:  rs.Stats,
+	})
+	fmt.Printf("coordinator up: %s\n", serve(coordinator))
+
+	// A pure-local reference engine computes the answer the fleet must
+	// reproduce bit-for-bit.
+	local := spq.NewEngine(newDB(), nil)
+	ctx := context.Background()
+
+	// --- 1. result-cache replication ---
+	// (Run first: once remote dispatch starts, sub-solve entries replicate
+	// between the workers too, and this demo wants a quiet wire.)
+	simple := spq.EngineRequest{Query: query, Options: options()}
+	if _, err := workerA.Query(ctx, simple); err != nil {
+		log.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for workerB.Stats().CacheReceived == 0 {
+		if time.Now().After(deadline) {
+			fail("worker B never received the replicated entry: %+v", storeA.Counters())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	hit, err := workerB.Query(ctx, simple)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !hit.ResultCacheHit {
+		fail("worker B solved a query worker A already solved")
+	}
+	fmt.Printf("\ncache replication: worker B answered worker A's query from the replicated cache ✓\n")
+	fmt.Printf("  worker A pushed %d, worker B received %d\n",
+		storeA.Counters().Replicated, workerB.Stats().CacheReceived)
+
+	// --- 2. remote solving ---
+	phases := map[string]int{}
+	req := request()
+	req.Progress = func(p spq.Progress) { phases[p.Phase]++ }
+	start := time.Now()
+	distributed, err := coordinator.Query(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reference, err := local.Query(ctx, request())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsketch query across the fleet: objective %.6g, package size %.0f (%s)\n",
+		distributed.Objective, distributed.PackageSize(), time.Since(start).Round(time.Millisecond))
+	for phase, n := range phases {
+		fmt.Printf("  progress from %-14s %d events\n", phase+":", n)
+	}
+	st := rs.Stats()
+	fmt.Printf("  remote dispatches: %d (fallbacks %d, failures %d)\n", st.Dispatched, st.Fallbacks, st.Failures)
+	if st.Dispatched == 0 {
+		fail("no sub-solves were dispatched to the workers")
+	}
+	if distributed.Objective != reference.Objective ||
+		distributed.Feasible != reference.Feasible ||
+		!reflect.DeepEqual(distributed.Solution.X, reference.Solution.X) {
+		fail("distributed result differs from local (obj %v vs %v)", distributed.Objective, reference.Objective)
+	}
+	fmt.Println("  distributed ≡ local: bit-identical ✓")
+
+	fmt.Println("\nPASS")
+}

@@ -11,18 +11,27 @@
 //     statement and invalidated by the registered relation's version
 //     counter, so repeated queries skip WHERE filtering, mask evaluation,
 //     and bound derivation;
-//   - an LRU result cache: evaluation is fully deterministic for fixed
-//     (query, method, options, seeds) — parallelism is bit-identical to
-//     sequential — so identical requests are served from a response LRU
-//     without solving, or even waiting for a solve slot;
+//   - a result cache behind the internal/resultcache.Store seam: evaluation
+//     is fully deterministic for fixed (query, method, options, seeds) —
+//     parallelism is bit-identical to sequential — so identical requests are
+//     served from a response store without solving, or even waiting for a
+//     solve slot. The default store is a node-local LRU; a Replicating store
+//     write-through-shares entries between peer daemons, and the engine
+//     materializes peer-received entries lazily against its own catalog;
 //   - per-query timeouts and cancellation via context.Context, carried all
 //     the way into scenario generation, validation, and the MILP search.
 //
-// Methods resolve through the core.Solver seam (SummarySearch, Naive), plus
-// "sketch", which runs the partition-aware SketchRefine pipeline
-// (internal/sketch) against the cached plan: the relation's cached
-// Partitioning shards the medoid solve, shards solve concurrently, and one
-// global refine follows.
+// Methods resolve through the core.Solver seam (SummarySearch, Naive, any
+// registered solver such as internal/remote's "remote"), plus "sketch",
+// which runs the partition-aware SketchRefine pipeline (internal/sketch)
+// against the cached plan: the relation's cached Partitioning shards the
+// medoid solve, shards solve concurrently, and one global refine follows.
+// With Options.SketchSolver set to a remote solver, those shard sub-solves
+// dispatch to worker daemons as v1 jobs — the multi-node deployment.
+// Symmetrically, the engine is the worker side of that dispatch: a request
+// carrying a client.SolveSpec solves a sub-problem of a registered table
+// (subset view + bound overrides) and answers with the raw, bit-exact
+// solution.
 //
 // Query evaluation itself runs with core.Options.Parallelism workers, so one
 // query exploits all cores when the server is idle while concurrent queries
@@ -34,6 +43,7 @@ package engine
 import (
 	"container/list"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
@@ -42,8 +52,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"spq/client"
 	"spq/internal/core"
 	"spq/internal/relation"
+	"spq/internal/remote"
+	"spq/internal/resultcache"
 	"spq/internal/sketch"
 	"spq/internal/spaql"
 	"spq/internal/translate"
@@ -100,6 +113,20 @@ type Options struct {
 	// JobHistory is the number of finished jobs retained for polling after
 	// completion (default 64; negative retains none).
 	JobHistory int
+	// ResultCache, when non-nil, replaces the default in-memory result
+	// store (a resultcache.Memory of ResultCacheSize entries). A
+	// resultcache.Replicating store shares entries with peer daemons; its
+	// peer endpoint is mounted by Handler and its counters join Stats.
+	ResultCache resultcache.Store
+	// SketchSolver, when non-nil, evaluates method=sketch sub-problems
+	// (shard sketches, refine, fallback) in place of the sketch default
+	// (core.SummarySearchSolver). Coordinator daemons set the remote solver
+	// here to dispatch shards to workers. Per-request sketch options that
+	// name a solver explicitly win.
+	SketchSolver core.Solver
+	// RemoteStats, when non-nil, is snapshotted into the remote_* Stats
+	// fields (set by daemons that registered a remote solver).
+	RemoteStats func() remote.Stats
 }
 
 func (o *Options) withDefaults() Options {
@@ -154,6 +181,14 @@ type Request struct {
 	// Sketch tunes the sketch pipeline when Method is "sketch"; nil uses
 	// sketch defaults. Workers 0 inherits the engine's parallelism.
 	Sketch *sketch.Options
+	// Solve, when non-nil, restricts the evaluation to a sub-problem of the
+	// query's table: the subset view named by the spec (base-relation tuple
+	// indices), with the spec's variable-bound overrides applied after
+	// translation. This is the worker side of remote dispatch
+	// (internal/remote submits these); sub-problem plans are built per
+	// request (no plan cache — every shard's subset differs) but results
+	// are cached with the spec joined into the key.
+	Solve *client.SolveSpec
 	// Progress, when non-nil, receives per-iteration reports while the
 	// solve runs (installed into core.Options; see core.Progress). It never
 	// fires for result-cache hits, where no solve runs.
@@ -195,7 +230,8 @@ func (r *Result) Multiplicities() map[int]int {
 	return out
 }
 
-// lruCache is a tiny string-keyed LRU shared by the plan and result caches.
+// lruCache is a tiny string-keyed LRU for the plan cache (the result cache
+// moved behind internal/resultcache.Store, which synchronizes itself).
 // The caller synchronizes access (the engine holds its mutex).
 type lruCache struct {
 	cap int
@@ -253,8 +289,11 @@ type plan struct {
 	relVersion uint64
 }
 
-// cachedResult is one result-cache entry: a fully evaluated, deterministic
-// response plus the relation identity/version it is valid for.
+// cachedResult is one result-cache entry's in-process value: a fully
+// evaluated, deterministic response plus the relation identity/version it
+// is valid for. It rides inside resultcache.Entry.Local; the entry's Wire
+// payload is the serialized cacheWire twin a peer daemon can rebuild it
+// from.
 type cachedResult struct {
 	sol        *core.Solution
 	sketch     *sketch.Stats
@@ -262,6 +301,19 @@ type cachedResult struct {
 	rel        *relation.Relation // WHERE-filtered view the solution indexes
 	table      *relation.Relation
 	relVersion uint64
+}
+
+// cacheWire is the self-contained replication payload of one cached result:
+// everything a peer needs to revalidate the entry against its own catalog
+// and rebuild the cachedResult (canonical query → plan → relation view; raw
+// solution → core.Solution). Float64 fields round-trip exactly through
+// JSON, so a replicated hit is bit-identical to a local one.
+type cacheWire struct {
+	Query  string              `json:"query"`
+	Method string              `json:"method"`
+	Solve  *client.SolveSpec   `json:"solve,omitempty"`
+	Result *client.SolveResult `json:"result"`
+	Sketch *sketch.Stats       `json:"sketch,omitempty"`
 }
 
 // Stats is a point-in-time snapshot of the engine's counters, served as one
@@ -312,6 +364,22 @@ type Stats struct {
 	MilpSolves     int64 `json:"milp_solves"`
 	MilpNodes      int64 `json:"milp_nodes"`
 	MilpWorkersMax int64 `json:"milp_workers_max"`
+	// Result-cache replication counters, present only when the engine runs
+	// a Replicating store (see internal/resultcache): entries pushed to
+	// peers, accepted from peers, failed deliveries, and local pushes
+	// dropped on queue overflow.
+	CacheReplicated  int64 `json:"cache_replicated,omitempty"`
+	CacheReceived    int64 `json:"cache_received,omitempty"`
+	CachePushErrors  int64 `json:"cache_push_errors,omitempty"`
+	CacheReplDropped int64 `json:"cache_repl_dropped,omitempty"`
+	// Remote-solver counters, present only on daemons that registered a
+	// worker pool (Options.RemoteStats): sub-solves dispatched to workers,
+	// local fallbacks, observed worker failures, and workers currently in
+	// failure backoff.
+	RemoteDispatched  int64 `json:"remote_dispatched,omitempty"`
+	RemoteFallbacks   int64 `json:"remote_fallbacks,omitempty"`
+	RemoteFailures    int64 `json:"remote_failures,omitempty"`
+	RemoteWorkersDown int64 `json:"remote_workers_down,omitempty"`
 }
 
 // Engine is a concurrent sPaQL query-execution engine over a catalog of
@@ -337,9 +405,14 @@ type Engine struct {
 	queued         atomic.Int64
 	solveNanos     atomic.Int64
 
-	mu      sync.Mutex
-	plans   *lruCache
-	results *lruCache
+	mu    sync.Mutex
+	plans *lruCache
+
+	// results is nil when result caching is disabled. wantWire reports
+	// whether the store replicates (implements Counters), in which case
+	// every locally solved entry also gets its serialized wire payload.
+	results  resultcache.Store
+	wantWire bool
 
 	// Async job manager state (jobs.go). jobList holds every tracked job in
 	// submission order; jobFinished counts the terminal ones, bounded by
@@ -360,14 +433,23 @@ type Engine struct {
 // New creates an engine over the catalog.
 func New(cat Catalog, o *Options) *Engine {
 	opts := o.withDefaults()
-	return &Engine{
+	e := &Engine{
 		cat:      cat,
 		opts:     opts,
 		sem:      make(chan struct{}, opts.MaxInFlight),
 		plans:    newLRU(opts.PlanCacheSize),
-		results:  newLRU(opts.ResultCacheSize),
 		jobsByID: map[string]*Job{},
 	}
+	switch {
+	case opts.ResultCache != nil:
+		e.results = opts.ResultCache
+	case opts.ResultCacheSize > 0:
+		e.results = resultcache.NewMemory(opts.ResultCacheSize)
+	}
+	if e.results != nil {
+		_, e.wantWire = e.results.(interface{ Counters() resultcache.Counters })
+	}
+	return e
 }
 
 // prepare returns a cached plan for the parsed query, or validates and
@@ -431,49 +513,169 @@ func (e *Engine) planDrop(key string) {
 	e.plans.drop(key)
 }
 
+// prepareSolve builds the plan for a sub-problem submission
+// (client.SolveSpec): the query lowered over the spec's subset view of the
+// base relation, with the spec's variable-bound overrides applied after
+// translation. The subset selection preserves each tuple's substream
+// identity, so the rebuilt problem is row-for-row the problem the
+// dispatching coordinator holds, and solving it is bit-identical to the
+// coordinator solving locally. Sub-problem plans are never plan-cached —
+// each shard's subset is unique — but their results are result-cached (the
+// spec joins the key).
+func (e *Engine) prepareSolve(q *spaql.Query, spec *client.SolveSpec) (*plan, error) {
+	rel, ok := e.cat.Table(q.Table)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown table %q", q.Table)
+	}
+	version := rel.Version()
+	n := rel.N()
+	if len(spec.Subset) == 0 {
+		return nil, errors.New("engine: solve spec has an empty subset")
+	}
+	member := make([]bool, n)
+	prev := -1
+	for _, t := range spec.Subset {
+		if t <= prev || t >= n {
+			return nil, fmt.Errorf("engine: solve subset must be strictly ascending base-relation indices below %d", n)
+		}
+		prev = t
+		member[t] = true
+	}
+	sub := rel.Select(func(t int) bool { return member[t] })
+	silp, err := translate.Build(q, sub, nil)
+	if err != nil {
+		return nil, err
+	}
+	if spec.VarHi != nil {
+		if len(spec.VarHi) != silp.N {
+			return nil, fmt.Errorf("engine: solve spec var_hi has %d bounds, problem has %d variables", len(spec.VarHi), silp.N)
+		}
+		silp.VarHi = append([]float64(nil), spec.VarHi...)
+	}
+	if spec.VarLo != nil {
+		if len(spec.VarLo) != silp.N {
+			return nil, fmt.Errorf("engine: solve spec var_lo has %d bounds, problem has %d variables", len(spec.VarLo), silp.N)
+		}
+		silp.VarLo = append([]float64(nil), spec.VarLo...)
+	}
+	return &plan{query: q, silp: silp, table: rel, relVersion: version}, nil
+}
+
 // resultKey renders the full determinism domain of a request: the canonical
 // statement, the method, every result-relevant evaluation option (seeds
 // included, parallelism excluded — it is bit-identical), the effective
-// timeout (when a budget binds, the result depends on it), and the sketch
-// options for the sketch method.
-func resultKey(qstr, method string, opts *core.Options, timeout time.Duration, sopts *sketch.Options) string {
+// timeout (when a budget binds, the result depends on it), the sketch
+// options for the sketch method, and the solve spec for sub-problem
+// requests. Every part is node-independent, which is what makes the key
+// safe to share across a replicated fleet.
+func resultKey(qstr, method string, opts *core.Options, timeout time.Duration, sopts *sketch.Options, spec *client.SolveSpec) string {
 	key := qstr + "\x1f" + method + "\x1f" + opts.Key() + "\x1f" + fmt.Sprint(int64(timeout))
 	if method == "sketch" {
 		key += "\x1f" + sopts.Key()
+	}
+	if spec != nil {
+		key += "\x1f" + spec.Key()
 	}
 	return key
 }
 
 // resultGet returns a still-valid cached result, dropping entries whose
-// relation changed. Lookup, validation, and the drop share one critical
-// section so a stale read can never evict a fresh entry stored by a
-// concurrent solve. A nil return is counted as a miss.
+// relation changed. The conditional Drop (pointer-matched against the entry
+// we validated) guarantees a stale read can never evict a fresh entry
+// stored by a concurrent solve. Entries that arrived from a peer daemon
+// carry only the wire payload; the first hit materializes them against the
+// local catalog and promotes the in-process value. A nil return is counted
+// as a miss.
 func (e *Engine) resultGet(key string) *cachedResult {
-	if e.opts.ResultCacheSize < 0 {
+	if e.results == nil {
 		return nil
 	}
-	e.mu.Lock()
-	if v, ok := e.results.get(key); ok {
-		cr := v.(*cachedResult)
-		if rel, live := e.cat.Table(cr.query.Table); live && rel == cr.table && rel.Version() == cr.relVersion {
-			e.mu.Unlock()
+	ent, ok := e.results.Get(key)
+	if !ok {
+		e.resultMisses.Add(1)
+		return nil
+	}
+	if rel, live := e.cat.Table(ent.Table); live && rel.Version() == ent.Version {
+		if cr, isLocal := ent.Local.(*cachedResult); isLocal {
+			// The identity check (not just name+version) guards against a
+			// different relation re-registered under the same name whose
+			// fresh version counter happens to coincide.
+			if cr.table == rel {
+				e.resultHits.Add(1)
+				return cr
+			}
+		} else if cr := e.materialize(ent); cr != nil {
+			e.results.Put(key, &resultcache.Entry{
+				Table: ent.Table, Version: ent.Version,
+				Local: cr, Wire: ent.Wire,
+				Remote: true, // a promoted peer entry still never re-replicates
+			})
 			e.resultHits.Add(1)
 			return cr
 		}
-		e.results.drop(key)
 	}
-	e.mu.Unlock()
+	e.results.Drop(key, ent)
 	e.resultMisses.Add(1)
 	return nil
 }
 
-func (e *Engine) resultPut(key string, cr *cachedResult) {
-	if e.opts.ResultCacheSize < 0 {
+// materialize rebuilds a peer-replicated entry's in-process value against
+// the local catalog: parse the canonical query, prepare its plan (through
+// the plan cache for whole-table entries; per-spec for sub-problems), check
+// the version still matches, and decode the raw solution onto the plan's
+// relation view. Any mismatch — table gone, version moved, malformed
+// payload, wrong package length — returns nil and the caller drops the
+// entry; replication is best-effort by design.
+func (e *Engine) materialize(ent *resultcache.Entry) *cachedResult {
+	if len(ent.Wire) == 0 {
+		return nil
+	}
+	var cw cacheWire
+	if err := json.Unmarshal(ent.Wire, &cw); err != nil {
+		return nil
+	}
+	q, err := spaql.Parse(cw.Query)
+	if err != nil {
+		return nil
+	}
+	var p *plan
+	if cw.Solve != nil {
+		p, err = e.prepareSolve(q, cw.Solve)
+	} else {
+		p, _, err = e.prepare(q, q.String())
+	}
+	if err != nil || p.relVersion != ent.Version {
+		return nil
+	}
+	sol, err := remote.FromWireSolution(cw.Result, p.silp.Rel.N())
+	if err != nil {
+		return nil
+	}
+	return &cachedResult{
+		sol: sol, sketch: cw.Sketch, query: p.query, rel: p.silp.Rel,
+		table: p.table, relVersion: p.relVersion,
+	}
+}
+
+// resultPut stores one locally solved result. When the store replicates,
+// the entry also carries its self-contained wire payload for the peer push.
+func (e *Engine) resultPut(key, method string, cr *cachedResult, spec *client.SolveSpec) {
+	if e.results == nil {
 		return
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.results.put(key, cr)
+	ent := &resultcache.Entry{Table: cr.query.Table, Version: cr.relVersion, Local: cr}
+	if e.wantWire {
+		if wire, err := json.Marshal(cacheWire{
+			Query:  cr.query.String(),
+			Method: method,
+			Solve:  spec,
+			Result: remote.ToWireSolution(cr.sol),
+			Sketch: cr.sketch,
+		}); err == nil {
+			ent.Wire = wire
+		}
+	}
+	e.results.Put(key, ent)
 }
 
 // Query evaluates one request under admission control: it parses the query,
@@ -501,9 +703,11 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Result, error) {
 	}
 	qstr := q.String()
 
-	// method is canonicalized through the solver registry ("" and
-	// "summarysearch" are the same computation and must share one result
-	// entry).
+	// method is canonicalized through the solver registry to the cache-key
+	// name of the computation: "" and "summarysearch" are the same
+	// computation and must share one result entry, and so are "remote" and
+	// its (bit-identical) inner method — including across fleet nodes with
+	// different solver configurations.
 	method := strings.ToLower(req.Method)
 	var solver core.Solver
 	if method != "sketch" {
@@ -511,7 +715,7 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Result, error) {
 			e.failures.Add(1)
 			return nil, fmt.Errorf("%w %q", ErrUnknownMethod, req.Method)
 		}
-		method = solver.Name()
+		method = core.SolverCacheKey(solver)
 	}
 
 	timeout := req.Timeout
@@ -538,12 +742,15 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Result, error) {
 		if s.Workers == 0 {
 			s.Workers = opts.Parallelism
 		}
+		if s.Solver == nil {
+			s.Solver = e.opts.SketchSolver
+		}
 		sopts = &s
 	}
 
 	// Identical deterministic requests are answered without solving (and
 	// without consuming a solve slot or queue capacity).
-	rkey := resultKey(qstr, method, &opts, timeout, sopts)
+	rkey := resultKey(qstr, method, &opts, timeout, sopts, req.Solve)
 	if cr := e.resultGet(rkey); cr != nil {
 		return &Result{Solution: cr.sol, Query: cr.query, Rel: cr.rel, ResultCacheHit: true, Sketch: cr.sketch}, nil
 	}
@@ -576,7 +783,13 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Result, error) {
 	e.active.Add(1)
 	defer e.active.Add(-1)
 
-	p, hit, err := e.prepare(q, qstr)
+	var p *plan
+	var hit bool
+	if req.Solve != nil {
+		p, err = e.prepareSolve(q, req.Solve)
+	} else {
+		p, hit, err = e.prepare(q, qstr)
+	}
 	if err != nil {
 		e.failures.Add(1)
 		return nil, fmt.Errorf("%w: %w", ErrBadQuery, err)
@@ -622,10 +835,10 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Result, error) {
 	// sees the refine solve's iterations; a budget cut inside a shard solve
 	// is not detected.)
 	if !sol.HitLimit(&opts) {
-		e.resultPut(rkey, &cachedResult{
+		e.resultPut(rkey, method, &cachedResult{
 			sol: sol, sketch: sstats, query: p.query, rel: p.silp.Rel,
 			table: p.table, relVersion: p.relVersion,
-		})
+		}, req.Solve)
 	}
 	return &Result{Solution: sol, Query: p.query, Rel: p.silp.Rel, CacheHit: hit, Sketch: sstats, Wait: wait}, nil
 }
@@ -634,15 +847,18 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Result, error) {
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	planLen := e.plans.len()
-	resultLen := e.results.len()
 	e.mu.Unlock()
+	resultLen := 0
+	if e.results != nil {
+		resultLen = e.results.Len()
+	}
 	// The queued counter tracks the engine's total commitment (waiting +
 	// solving) for admission; report only the waiting backlog.
 	waiting := e.queued.Load() - e.active.Load()
 	if waiting < 0 {
 		waiting = 0
 	}
-	return Stats{
+	st := Stats{
 		Queries:           e.queries.Load(),
 		Failures:          e.failures.Load(),
 		Rejected:          e.rejected.Load(),
@@ -668,4 +884,19 @@ func (e *Engine) Stats() Stats {
 		JobsCancelled:     e.jobsCancelled.Load(),
 		JobsEvicted:       e.jobsEvicted.Load(),
 	}
+	if c, ok := e.results.(interface{ Counters() resultcache.Counters }); ok {
+		rc := c.Counters()
+		st.CacheReplicated = rc.Replicated
+		st.CacheReceived = rc.Received
+		st.CachePushErrors = rc.PushErrors
+		st.CacheReplDropped = rc.Dropped
+	}
+	if e.opts.RemoteStats != nil {
+		rs := e.opts.RemoteStats()
+		st.RemoteDispatched = rs.Dispatched
+		st.RemoteFallbacks = rs.Fallbacks
+		st.RemoteFailures = rs.Failures
+		st.RemoteWorkersDown = int64(rs.WorkersDown)
+	}
+	return st
 }

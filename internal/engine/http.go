@@ -10,6 +10,7 @@ import (
 
 	"spq/client"
 	"spq/internal/core"
+	"spq/internal/resultcache"
 	"spq/internal/sketch"
 )
 
@@ -122,6 +123,11 @@ func (e *Engine) Handler() http.Handler {
 			writeJSON(w, http.StatusOK, e.Stats())
 		},
 	}))
+	// A replicating result cache brings its peer endpoint along (POST
+	// receives pushed entries, GET reports replication counters).
+	if ph, ok := e.results.(interface{ Handler() http.Handler }); ok {
+		mux.Handle(resultcache.PeerPath, ph.Handler())
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, &client.Error{
 			Code:       client.CodeNotFound,

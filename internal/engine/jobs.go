@@ -13,6 +13,7 @@ import (
 	"spq/client"
 	"spq/internal/core"
 	"spq/internal/relation"
+	"spq/internal/remote"
 	"spq/internal/spaql"
 )
 
@@ -183,8 +184,11 @@ func packageOf(x []float64, rel *relation.Relation) []client.PackageTuple {
 	return out
 }
 
-// resultToWire renders an engine Result as the v1 result payload.
-func resultToWire(res *Result, solve time.Duration) *client.QueryResult {
+// resultToWire renders an engine Result as the v1 result payload. raw adds
+// the solver-fidelity solution (exact multiplicities over the solved view)
+// for sub-problem submissions — the remote solver needs bit-exact values,
+// not the rounded base-tuple package.
+func resultToWire(res *Result, solve time.Duration, raw bool) *client.QueryResult {
 	out := &client.QueryResult{
 		Feasible:       res.Feasible,
 		Objective:      res.Objective,
@@ -211,11 +215,21 @@ func resultToWire(res *Result, solve time.Duration) *client.QueryResult {
 			FellBack:   res.Sketch.FellBack,
 		}
 	}
+	if raw {
+		out.Raw = remote.ToWireSolution(res.Solution)
+	}
 	return out
 }
 
 // errToWire maps an engine/evaluation error to the v1 error contract.
+// Deterministic infeasibility gets its own stable code (it is a property of
+// the problem, which distributed callers must distinguish from a worker
+// fault), and a structured worker error already in the chain — the remote
+// solver wraps them with %w — keeps its stable code instead of collapsing
+// to "internal", so codes propagate end-to-end through any number of
+// dispatch hops.
 func errToWire(err error) *client.Error {
+	var apiErr *client.Error
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		return &client.Error{Code: client.CodeOverloaded, Message: err.Error(), RetryAfterMS: 1000, HTTPStatus: 429}
@@ -223,10 +237,25 @@ func errToWire(err error) *client.Error {
 		return &client.Error{Code: client.CodeTimeout, Message: err.Error(), HTTPStatus: 504}
 	case errors.Is(err, context.Canceled):
 		return &client.Error{Code: client.CodeCancelled, Message: err.Error(), HTTPStatus: 504}
+	case errors.Is(err, core.ErrInfeasible):
+		// Checked before ErrBadQuery: the engine wraps infeasibility in
+		// ErrBadQuery for the HTTP 400 mapping, but the finer code wins.
+		return &client.Error{Code: client.CodeInfeasible, Message: err.Error(), HTTPStatus: 400}
 	case errors.Is(err, ErrUnknownMethod):
 		return &client.Error{Code: client.CodeUnknownMethod, Message: err.Error(), HTTPStatus: 400}
 	case errors.Is(err, ErrBadQuery):
 		return &client.Error{Code: client.CodeInvalidQuery, Message: err.Error(), HTTPStatus: 400}
+	case errors.As(err, &apiErr):
+		out := client.Error{
+			Code:         apiErr.Code,
+			Message:      err.Error(), // the full chain, worker context included
+			RetryAfterMS: apiErr.RetryAfterMS,
+			HTTPStatus:   apiErr.HTTPStatus,
+		}
+		if out.HTTPStatus == 0 {
+			out.HTTPStatus = 500
+		}
+		return &out
 	default:
 		return &client.Error{Code: client.CodeInternal, Message: err.Error(), HTTPStatus: 500}
 	}
@@ -334,7 +363,7 @@ func (e *Engine) runJob(ctx context.Context, j *Job, req Request) {
 	case err == nil:
 		j.state = client.JobSucceeded
 		j.result = res
-		j.wire = resultToWire(res, solve)
+		j.wire = resultToWire(res, solve, req.Solve != nil)
 		// The final package is by definition the best one.
 		j.bestFeas = res.Feasible
 		j.bestObj = res.Objective

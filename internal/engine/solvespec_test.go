@@ -1,0 +1,182 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"reflect"
+	"testing"
+	"time"
+
+	"spq/client"
+	"spq/internal/core"
+	"spq/internal/spaql"
+	"spq/internal/translate"
+)
+
+// Tests of the worker side of remote dispatch: requests carrying a
+// client.SolveSpec solve a sub-problem of a registered table and answer
+// with the raw, bit-exact solution.
+
+// TestSolveSpecBitIdentical: a spec-restricted engine query equals solving
+// the manually built subset view locally — the property remote dispatch
+// rests on.
+func TestSolveSpecBitIdentical(t *testing.T) {
+	cat := newCatalog(t, 30)
+	rel := cat["stocks"]
+
+	var subset []int
+	for i := 0; i < 30; i += 2 {
+		subset = append(subset, i)
+	}
+	member := make([]bool, 30)
+	for _, i := range subset {
+		member[i] = true
+	}
+
+	q, err := spaql.Parse(testQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	silp, err := translate.Build(q, rel.Select(func(i int) bool { return member[i] }), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := smallCoreOptions()
+	opts.Parallelism = 1
+	want, err := core.SummarySearchSolver.Solve(context.Background(), silp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := New(cat, &Options{Parallelism: 1, ResultCacheSize: -1})
+	got, err := e.Query(context.Background(), Request{
+		Query:   testQuery,
+		Options: opts,
+		Solve:   &client.SolveSpec{Subset: subset},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Feasible != want.Feasible || got.Objective != want.Objective || !reflect.DeepEqual(got.X, want.X) {
+		t.Fatalf("spec solve differs from manual subset solve:\n got %v obj %v\nwant %v obj %v",
+			got.X, got.Objective, want.X, want.Objective)
+	}
+	if got.Rel.N() != len(subset) {
+		t.Fatalf("result view has %d rows, want %d", got.Rel.N(), len(subset))
+	}
+
+	// Bound overrides change the problem the same way on both paths.
+	silp2, err := translate.Build(q, rel.Select(func(i int) bool { return member[i] }), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi := make([]float64, silp2.N)
+	for i := range hi {
+		hi[i] = 1
+	}
+	silp2.VarHi = hi
+	want2, err := core.SummarySearchSolver.Solve(context.Background(), silp2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := e.Query(context.Background(), Request{
+		Query:   testQuery,
+		Options: opts,
+		Solve:   &client.SolveSpec{Subset: subset, VarHi: hi},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Objective != want2.Objective || !reflect.DeepEqual(got2.X, want2.X) {
+		t.Fatal("var_hi override not applied equivalently")
+	}
+}
+
+// TestSolveSpecValidation: malformed specs are client errors (400-mapped),
+// not internal failures.
+func TestSolveSpecValidation(t *testing.T) {
+	e := New(newCatalog(t, 10), &Options{Parallelism: 1})
+	cases := []client.SolveSpec{
+		{},                     // empty subset
+		{Subset: []int{3, 1}},  // not ascending
+		{Subset: []int{0, 0}},  // duplicate
+		{Subset: []int{0, 99}}, // out of range
+		{Subset: []int{0, 1}, VarHi: []float64{1}}, // bounds length mismatch
+	}
+	for i, spec := range cases {
+		spec := spec
+		_, err := e.Query(context.Background(), Request{Query: testQuery, Options: smallCoreOptions(), Solve: &spec})
+		if !errors.Is(err, ErrBadQuery) {
+			t.Fatalf("case %d: err = %v, want ErrBadQuery", i, err)
+		}
+	}
+}
+
+// TestSolveSpecRawOverV1: a spec submission through the HTTP API returns
+// the raw solution payload with exact multiplicities, and the result cache
+// serves the identical spec request without solving (the spec joins the
+// key, so it cannot collide with the whole-table entry).
+func TestSolveSpecRawOverV1(t *testing.T) {
+	e := New(newCatalog(t, 20), &Options{Parallelism: 1})
+	srv := v1Server(t, e)
+
+	subset := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	submit := func() *client.Job {
+		resp := postJSON(t, srv.URL+"/v1/queries", client.SubmitRequest{
+			Query:   testQuery,
+			Options: &client.SolveOptions{Seed: 1, ValidationM: 1500, InitialM: 10, IncrementM: 10, MaxM: 60},
+			Solve:   &client.SolveSpec{Subset: subset},
+		})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit status %d", resp.StatusCode)
+		}
+		var job client.Job
+		if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		deadline := time.Now().Add(30 * time.Second)
+		for !job.State.Terminal() {
+			if time.Now().After(deadline) {
+				t.Fatal("job never finished")
+			}
+			r, err := http.Get(srv.URL + "/v1/queries/" + job.ID + "?wait_ms=1000")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := json.NewDecoder(r.Body).Decode(&job); err != nil {
+				t.Fatal(err)
+			}
+			r.Body.Close()
+		}
+		return &job
+	}
+
+	job := submit()
+	if job.State != client.JobSucceeded {
+		t.Fatalf("job %s: %+v", job.State, job.Error)
+	}
+	raw := job.Result.Raw
+	if raw == nil {
+		t.Fatal("spec submission returned no raw solution")
+	}
+	if len(raw.X) != len(subset) {
+		t.Fatalf("raw.X has %d entries, want %d", len(raw.X), len(subset))
+	}
+	if raw.Feasible != job.Result.Feasible || raw.Objective != job.Result.Objective {
+		t.Fatal("raw and compact results disagree")
+	}
+	if job.Result.ResultCacheHit {
+		t.Fatal("first spec solve claims a cache hit")
+	}
+
+	job2 := submit()
+	if job2.Result == nil || !job2.Result.ResultCacheHit {
+		t.Fatal("identical spec request missed the result cache")
+	}
+	if !reflect.DeepEqual(job2.Result.Raw, raw) {
+		t.Fatal("cached raw solution differs")
+	}
+}

@@ -16,6 +16,14 @@
 // [rowLo_i, rowHi_i], and the system is A x − r = 0. The initial basis is the
 // logical identity; a composite (infeasibility-minimizing) phase 1 drives the
 // basics into their bounds, then phase 2 optimizes the true objective.
+//
+// Solves are cooperatively interruptible: Options.Cancel and
+// Options.Deadline are polled once per simplex iteration in both phases,
+// and an aborted solve reports StatusCancelled with best-effort values.
+// This is the lowest rung of the cancellation ladder — it is what lets a
+// daemon-level DELETE land within one LP iteration even when a single
+// relaxation runs for seconds (see internal/milp and DESIGN.md "Parallel
+// MILP").
 package lp
 
 import (

@@ -1,0 +1,247 @@
+package resultcache
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the fleet-facing half of the package: Replicating wraps a
+// Store and write-through-shares locally solved entries with peer daemons.
+//
+// The protocol is deliberately minimal — a push-only, best-effort gossip of
+// one generation:
+//
+//	POST /v1/cache   {"entries":[{"key":..,"table":..,"version":..,"payload":..}]}
+//	GET  /v1/cache   {"len":..,"replicated":..,"received":..,"push_errors":..,"dropped":..}
+//
+// Puts of locally computed entries enqueue a push to every configured peer;
+// a background worker batches and delivers them off the solve path (a slow
+// or dead peer can never block a query). Received entries are stored
+// Wire-only and Remote-flagged, so they are never pushed onward (no echo,
+// no flooding) and the receiving engine validates them against its own
+// catalog — table name and relation version — before first use, exactly
+// like a locally cached entry. Consistency needs no protocol: keys encode
+// the full determinism domain, so two correct nodes can only ever replicate
+// identical values under one key, and a node whose relation moved on simply
+// drops the entry at validation time.
+const (
+	// PeerPath is the route peers push to; the daemon mounts Handler there.
+	PeerPath = "/v1/cache"
+	// maxPushBody bounds a received replication batch (defensive parity
+	// with the engine's request-body cap, scaled for result payloads).
+	maxPushBody = 16 << 20
+	// pushBatch bounds entries per delivery; pushQueue bounds the backlog
+	// (beyond it, pushes are dropped and counted — the cache is an
+	// optimization, losing one replication never hurts correctness).
+	pushBatch = 32
+	pushQueue = 256
+)
+
+// wireEntry is one replicated entry on the wire.
+type wireEntry struct {
+	Key     string          `json:"key"`
+	Table   string          `json:"table"`
+	Version uint64          `json:"version"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+type wireBatch struct {
+	Entries []wireEntry `json:"entries"`
+}
+
+// Counters reports the replication traffic of a Replicating store; the
+// engine folds it into GET /stats.
+type Counters struct {
+	// Replicated counts entries pushed out (per peer); Received counts
+	// entries accepted from peers; PushErrors counts failed deliveries
+	// (per peer, per batch); Dropped counts local pushes discarded because
+	// the queue was full.
+	Replicated int64
+	Received   int64
+	PushErrors int64
+	Dropped    int64
+}
+
+// Replicating wraps an inner Store with write-through peer replication.
+// Create with NewReplicating; Close releases the delivery worker.
+type Replicating struct {
+	inner Store
+	peers []string
+	hc    *http.Client
+
+	// closeMu guards queue sends against Close: Put holds it shared while
+	// sending, Close holds it exclusively while closing, so a straggler
+	// solve goroutine finishing after shutdown drops its push instead of
+	// panicking on the closed channel.
+	closeMu sync.RWMutex
+	closed  bool
+	queue   chan wireEntry
+	wg      sync.WaitGroup
+	once    sync.Once
+
+	replicated atomic.Int64
+	received   atomic.Int64
+	pushErrors atomic.Int64
+	dropped    atomic.Int64
+}
+
+// NewReplicating wraps inner, pushing every locally stored entry to the
+// peer base URLs (e.g. "http://node2:8723"; PeerPath is appended). An
+// empty peer list makes a receive-only node — it serves pushes from peers
+// that list it but originates none. hc may be nil (a 5s-timeout client is
+// used).
+func NewReplicating(inner Store, peers []string, hc *http.Client) *Replicating {
+	if hc == nil {
+		hc = &http.Client{Timeout: 5 * time.Second}
+	}
+	r := &Replicating{
+		inner: inner,
+		peers: append([]string(nil), peers...),
+		hc:    hc,
+		queue: make(chan wireEntry, pushQueue),
+	}
+	r.wg.Add(1)
+	go r.deliver()
+	return r
+}
+
+// Close stops the delivery worker after draining queued pushes. Puts
+// arriving after Close still store locally; their replication is dropped.
+func (r *Replicating) Close() {
+	r.once.Do(func() {
+		r.closeMu.Lock()
+		r.closed = true
+		close(r.queue)
+		r.closeMu.Unlock()
+	})
+	r.wg.Wait()
+}
+
+// Get implements Store (local lookup only; peers push, we never pull).
+func (r *Replicating) Get(key string) (*Entry, bool) { return r.inner.Get(key) }
+
+// Drop implements Store.
+func (r *Replicating) Drop(key string, stale *Entry) { r.inner.Drop(key, stale) }
+
+// Len implements Store.
+func (r *Replicating) Len() int { return r.inner.Len() }
+
+// Put implements Store: store locally, then enqueue a push of the wire
+// payload to every peer. Entries without a payload, Remote-flagged entries
+// (received from a peer, or a local materialization of one), and stores on
+// a peerless node replicate nothing.
+func (r *Replicating) Put(key string, e *Entry) {
+	r.inner.Put(key, e)
+	if e == nil || e.Remote || len(e.Wire) == 0 || len(r.peers) == 0 {
+		return
+	}
+	r.closeMu.RLock()
+	defer r.closeMu.RUnlock()
+	if r.closed {
+		r.dropped.Add(1)
+		return
+	}
+	select {
+	case r.queue <- wireEntry{Key: key, Table: e.Table, Version: e.Version, Payload: e.Wire}:
+	default:
+		r.dropped.Add(1)
+	}
+}
+
+// Counters snapshots the replication counters.
+func (r *Replicating) Counters() Counters {
+	return Counters{
+		Replicated: r.replicated.Load(),
+		Received:   r.received.Load(),
+		PushErrors: r.pushErrors.Load(),
+		Dropped:    r.dropped.Load(),
+	}
+}
+
+// deliver drains the queue, batching adjacent pushes per delivery.
+func (r *Replicating) deliver() {
+	defer r.wg.Done()
+	for we, ok := <-r.queue; ok; we, ok = <-r.queue {
+		batch := wireBatch{Entries: []wireEntry{we}}
+	drain:
+		for len(batch.Entries) < pushBatch {
+			select {
+			case next, more := <-r.queue:
+				if !more {
+					break drain
+				}
+				batch.Entries = append(batch.Entries, next)
+			default:
+				break drain
+			}
+		}
+		body, err := json.Marshal(batch)
+		if err != nil {
+			r.pushErrors.Add(1)
+			continue
+		}
+		for _, peer := range r.peers {
+			resp, err := r.hc.Post(peer+PeerPath, "application/json", bytes.NewReader(body))
+			if err != nil {
+				r.pushErrors.Add(1)
+				continue
+			}
+			resp.Body.Close()
+			if resp.StatusCode/100 != 2 {
+				r.pushErrors.Add(1)
+				continue
+			}
+			r.replicated.Add(int64(len(batch.Entries)))
+		}
+	}
+}
+
+// Handler serves the peer endpoint: POST stores pushed entries
+// (Wire-only, Remote-flagged), GET reports the store's replication
+// counters. Mount it at PeerPath.
+func (r *Replicating) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		switch req.Method {
+		case http.MethodPost:
+			req.Body = http.MaxBytesReader(w, req.Body, maxPushBody)
+			var batch wireBatch
+			if err := json.NewDecoder(req.Body).Decode(&batch); err != nil {
+				http.Error(w, `{"error":{"code":"bad_request","message":"bad cache push body"}}`, http.StatusBadRequest)
+				return
+			}
+			accepted := 0
+			for _, we := range batch.Entries {
+				if we.Key == "" || we.Table == "" || len(we.Payload) == 0 {
+					continue
+				}
+				r.inner.Put(we.Key, &Entry{
+					Table:   we.Table,
+					Version: we.Version,
+					Wire:    []byte(we.Payload),
+					Remote:  true,
+				})
+				accepted++
+			}
+			r.received.Add(int64(accepted))
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(map[string]int{"accepted": accepted})
+		case http.MethodGet:
+			c := r.Counters()
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(map[string]int64{
+				"len":         int64(r.Len()),
+				"replicated":  c.Replicated,
+				"received":    c.Received,
+				"push_errors": c.PushErrors,
+				"dropped":     c.Dropped,
+			})
+		default:
+			w.Header().Set("Allow", "GET, POST")
+			http.Error(w, `{"error":{"code":"method_not_allowed","message":"GET or POST only"}}`, http.StatusMethodNotAllowed)
+		}
+	})
+}

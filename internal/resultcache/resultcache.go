@@ -1,0 +1,137 @@
+// Package resultcache is the storage seam behind the engine's result cache:
+// the LRU of fully evaluated, deterministic query responses that lets
+// identical requests skip solving entirely.
+//
+// The engine used to own the LRU directly; extracting it behind Store
+// makes the cache a deployment choice. Memory is the single-node store the
+// engine had before. Replicating (replicate.go) wraps it for a fleet:
+// locally solved entries are pushed write-through to peer daemons over
+// HTTP, so a load balancer can spray identical requests across nodes and
+// still hit warm caches everywhere.
+//
+// Entries are deliberately two-faced. Local holds the engine's in-process
+// value — pointers into live plans and relations, cheap to serve, never
+// serialized. Wire holds the self-contained replication payload (canonical
+// query, options, raw solution) that a peer can validate and materialize
+// against its own catalog. A peer-received entry starts Wire-only and
+// Remote-flagged; the receiving engine materializes it lazily on first hit
+// and never re-replicates it, so pushes cannot echo around the fleet.
+// Version invalidation is preserved by construction: every entry names the
+// relation and version it was solved against, and the engine revalidates
+// (and drops dead entries) on every hit exactly as it did for the
+// single-node LRU.
+package resultcache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Entry is one cached result with the validation metadata the engine needs
+// to decide whether it is still current.
+type Entry struct {
+	// Table and Version name the registered relation (and its version
+	// counter) the result was computed against. A hit is only served when
+	// the local catalog still resolves Table to a relation at Version.
+	Table   string
+	Version uint64
+	// Local is the engine's in-process cached value (opaque to this
+	// package); nil for entries received from a peer until the engine
+	// materializes them.
+	Local any
+	// Wire is the self-contained serialized payload a peer can rebuild the
+	// result from; nil when the owning engine chose not to render one.
+	Wire []byte
+	// Remote marks entries that arrived from a peer: they are never pushed
+	// back out (replication is one generation deep by design — every node
+	// that solves pushes, nobody forwards).
+	Remote bool
+}
+
+// Store is a keyed result store. Implementations must be safe for
+// concurrent use; keys are the engine's canonical result keys (the full
+// determinism domain of a request).
+type Store interface {
+	// Get returns the entry under key, marking it recently used.
+	Get(key string) (*Entry, bool)
+	// Put stores e under key, evicting least-recently-used entries beyond
+	// the store's capacity.
+	Put(key string, e *Entry)
+	// Drop removes the entry under key only while it is still exactly
+	// stale (pointer identity): a validator that saw a dead entry can race
+	// with a fresh Put from a concurrent solve, and must not evict the
+	// fresh value.
+	Drop(key string, stale *Entry)
+	// Len reports the number of entries currently stored.
+	Len() int
+}
+
+// Memory is the in-process LRU store (the engine's original result cache).
+// The zero value is not usable; call NewMemory.
+type Memory struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used; values are *memEntry
+	m   map[string]*list.Element
+}
+
+type memEntry struct {
+	key string
+	val *Entry
+}
+
+// NewMemory returns an LRU store holding at most capacity entries
+// (capacity must be positive).
+func NewMemory(capacity int) *Memory {
+	return &Memory{
+		cap: capacity,
+		ll:  list.New(),
+		m:   map[string]*list.Element{},
+	}
+}
+
+// Get implements Store.
+func (s *Memory) Get(key string) (*Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.m[key]
+	if !ok {
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	return el.Value.(*memEntry).val, true
+}
+
+// Put implements Store.
+func (s *Memory) Put(key string, e *Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[key]; ok {
+		el.Value.(*memEntry).val = e
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.m[key] = s.ll.PushFront(&memEntry{key: key, val: e})
+	for s.ll.Len() > s.cap {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.m, oldest.Value.(*memEntry).key)
+	}
+}
+
+// Drop implements Store.
+func (s *Memory) Drop(key string, stale *Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[key]; ok && el.Value.(*memEntry).val == stale {
+		s.ll.Remove(el)
+		delete(s.m, key)
+	}
+}
+
+// Len implements Store.
+func (s *Memory) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}

@@ -30,6 +30,13 @@
 // greedily per group), which keeps the stochastic constraints exact at the
 // cost of a slightly larger refine problem. DESIGN.md records the
 // deviation.
+//
+// Every sub-problem — shard sketches, the refine, fallbacks — is solved
+// through Options.Solver (core.Solver), so the pipeline scales past one
+// machine without modification: with the remote solver (internal/remote)
+// plugged in, each shard ships to a worker daemon as a v1 job and the
+// merged result stays bit-identical to local solving. The engine wires
+// this via engine.Options.SketchSolver (spqd -solver remote).
 package sketch
 
 import (
@@ -104,13 +111,16 @@ func (o *Options) withDefaults() Options {
 
 // Key renders every result-relevant sketch option canonically, after
 // defaulting, for the engine's result cache. Workers is excluded (any
-// worker count is bit-identical); the solver is included by name because it
-// changes the answer. Nil receivers key like the zero Options.
+// worker count is bit-identical); the solver is included because it
+// changes the answer — by its cache-key name (core.SolverCacheKey), so a
+// dispatching solver that is bit-identical to a local one (remote) shares
+// entries with it across a replicated fleet. Nil receivers key like the
+// zero Options.
 func (o *Options) Key() string {
 	so := o.withDefaults()
 	return fmt.Sprintf("tau=%d,iters=%d,seed=%d,cand=%d,strat=%s,shards=%d,solver=%s",
 		so.GroupSize, so.KMeansIters, so.Seed, so.MaxCandidates, so.Strategy,
-		so.Shards, so.Solver.Name())
+		so.Shards, core.SolverCacheKey(so.Solver))
 }
 
 // Stats reports what the sketch pipeline did.
