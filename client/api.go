@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"sort"
+	"strings"
 	"time"
 )
 
@@ -163,6 +165,79 @@ func (s *SolveSpec) Key() string {
 	return fmt.Sprintf("n=%d,hi=%d,lo=%d,h=%016x", len(s.Subset), len(s.VarHi), len(s.VarLo), h.Sum64())
 }
 
+// TraceHeader is the HTTP header that propagates a coordinator's trace
+// across a dispatch hop: "<trace-id>/<parent-span-name>". A worker that
+// receives it roots its job's span tree under the caller's trace ID, so the
+// two sides of a remote solve correlate under one trace.
+const TraceHeader = "X-Spq-Trace"
+
+// TraceSpan is one node of a job's span tree, served by
+// GET /v1/queries/{id}/trace and embedded in terminal Jobs. It mirrors the
+// engine's internal span data exactly: start times are absolute unix
+// microseconds (so coordinator and worker spans line up, modulo clock
+// skew), durations are microseconds, and TraceID is set on roots only.
+type TraceSpan struct {
+	TraceID     string            `json:"trace_id,omitempty"`
+	Name        string            `json:"name"`
+	StartUnixUS int64             `json:"start_us"`
+	DurationUS  int64             `json:"duration_us"`
+	Attrs       map[string]string `json:"attrs,omitempty"`
+	Children    []*TraceSpan      `json:"children,omitempty"`
+}
+
+// Walk visits every span depth-first, parents before children.
+func (t *TraceSpan) Walk(fn func(*TraceSpan)) {
+	if t == nil {
+		return
+	}
+	fn(t)
+	for _, c := range t.Children {
+		c.Walk(fn)
+	}
+}
+
+// Render draws the span tree as an indented text listing with durations
+// and attributes (what `spq -trace-tree` prints).
+func (t *TraceSpan) Render() string {
+	var sb strings.Builder
+	if t == nil {
+		return ""
+	}
+	if t.TraceID != "" {
+		sb.WriteString("trace " + t.TraceID + "\n")
+	}
+	t.render(&sb, 0)
+	return sb.String()
+}
+
+func (t *TraceSpan) render(sb *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		sb.WriteString("  ")
+	}
+	sb.WriteString(t.Name)
+	sb.WriteString("  ")
+	if t.DurationUS > 0 {
+		sb.WriteString((time.Duration(t.DurationUS) * time.Microsecond).Round(10 * time.Microsecond).String())
+	} else {
+		sb.WriteString("(running)")
+	}
+	if t.TraceID != "" && depth > 0 {
+		sb.WriteString("  [trace " + t.TraceID + "]")
+	}
+	keys := make([]string, 0, len(t.Attrs))
+	for k := range t.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sb.WriteString("  " + k + "=" + t.Attrs[k])
+	}
+	sb.WriteByte('\n')
+	for _, c := range t.Children {
+		c.render(sb, depth+1)
+	}
+}
+
 // SubmitRequest is the body of POST /v1/queries (and one element of a
 // batch submission).
 type SubmitRequest struct {
@@ -182,6 +257,11 @@ type SubmitRequest struct {
 	// query's table (solver-to-solver dispatch). The job's result then
 	// carries the raw solution (QueryResult.Raw).
 	Solve *SolveSpec `json:"solve,omitempty"`
+	// TraceParent, when non-empty, nests the job's span tree under an
+	// upstream trace ("<trace-id>/<parent-span-name>"). It travels as the
+	// TraceHeader, not in the body, and is observational only: it never
+	// affects the result or its cache key.
+	TraceParent string `json:"-"`
 }
 
 // BatchRequest is the body of POST /v1/queries:batch.
@@ -275,6 +355,7 @@ type SolveIteration struct {
 	Status       int     `json:"status"`
 	Coefficients int     `json:"coefficients,omitempty"`
 	Nodes        int     `json:"nodes,omitempty"`
+	LPIters      int     `json:"lp_iters,omitempty"`
 	Feasible     bool    `json:"feasible"`
 	Objective    float64 `json:"objective"`
 }
@@ -300,6 +381,7 @@ type SolveResult struct {
 	MILPSolves    int              `json:"milp_solves,omitempty"`
 	MILPNodes     int              `json:"milp_nodes,omitempty"`
 	MILPWorkers   int              `json:"milp_workers,omitempty"`
+	LPIters       int              `json:"lp_iters,omitempty"`
 	TotalMS       int64            `json:"total_ms,omitempty"`
 }
 
@@ -356,6 +438,10 @@ type Job struct {
 	// cancelled.
 	Result *QueryResult `json:"result,omitempty"`
 	Error  *Error       `json:"error,omitempty"`
+	// Trace is the job's rendered span tree, attached once the job is
+	// terminal (the live tree is always available at
+	// GET /v1/queries/{id}/trace). List responses omit it.
+	Trace *TraceSpan `json:"trace,omitempty"`
 }
 
 // ListResponse answers GET /v1/queries.

@@ -101,6 +101,11 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 // retried up to c.retries times, honoring the server's Retry-After;
 // anything else non-2xx decodes the error envelope into *Error.
 func (c *Client) do(ctx context.Context, method, path string, query url.Values, in, out any) error {
+	return c.doHeaders(ctx, method, path, query, nil, in, out)
+}
+
+// doHeaders is do with extra request headers (the trace-propagation hook).
+func (c *Client) doHeaders(ctx context.Context, method, path string, query url.Values, hdr http.Header, in, out any) error {
 	var body []byte
 	if in != nil {
 		var err error
@@ -119,6 +124,11 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 		}
 		if in != nil {
 			req.Header.Set("Content-Type", "application/json")
+		}
+		for k, vs := range hdr {
+			for _, v := range vs {
+				req.Header.Add(k, v)
+			}
 		}
 		resp, err := c.hc.Do(req)
 		if err != nil {
@@ -203,8 +213,12 @@ func sleep(ctx context.Context, d time.Duration) error {
 // failures (parse errors, unknown methods) return *Error with a stable
 // code.
 func (c *Client) Submit(ctx context.Context, req SubmitRequest) (*Job, error) {
+	var hdr http.Header
+	if req.TraceParent != "" {
+		hdr = http.Header{TraceHeader: []string{req.TraceParent}}
+	}
 	var job Job
-	if err := c.do(ctx, http.MethodPost, "/v1/queries", nil, req, &job); err != nil {
+	if err := c.doHeaders(ctx, http.MethodPost, "/v1/queries", nil, hdr, req, &job); err != nil {
 		return nil, err
 	}
 	return &job, nil
@@ -233,6 +247,16 @@ func (c *Client) List(ctx context.Context) ([]*Job, error) {
 		return nil, err
 	}
 	return out.Jobs, nil
+}
+
+// Trace fetches a job's span tree (GET /v1/queries/{id}/trace). It works on
+// running jobs too: unfinished spans report a zero duration.
+func (c *Client) Trace(ctx context.Context, id string) (*TraceSpan, error) {
+	var tr TraceSpan
+	if err := c.do(ctx, http.MethodGet, "/v1/queries/"+url.PathEscape(id)+"/trace", nil, nil, &tr); err != nil {
+		return nil, err
+	}
+	return &tr, nil
 }
 
 // Cancel requests cancellation of a queued or running job and returns its

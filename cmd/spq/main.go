@@ -56,18 +56,19 @@ func main() {
 		trace      = flag.Bool("trace", false, "print the optimize/validate iteration history")
 		showRows   = flag.Int("rows", 10, "package rows to print")
 		server     = flag.String("server", "", "submit to a remote spqd at this base URL (v1 async API) instead of solving in-process")
+		traceTree  = flag.Bool("trace-tree", false, "print the server-side span tree after the job finishes (requires -server)")
 	)
 	flag.Parse()
 
 	if err := run(*queryText, *queryFile, *csvPath, *wname, *paperQuery, *list, *n,
-		*seed, *method, *valM, *initialM, *maxM, *fixedZ, *explain, *trace, *showRows, *server); err != nil {
+		*seed, *method, *valM, *initialM, *maxM, *fixedZ, *explain, *trace, *traceTree, *showRows, *server); err != nil {
 		fmt.Fprintln(os.Stderr, "spq:", err)
 		os.Exit(1)
 	}
 }
 
 func run(queryText, queryFile, csvPath, wname, paperQuery string, list bool, n int,
-	seed uint64, method string, valM, initialM, maxM, fixedZ int, explain, trace bool, showRows int, server string) error {
+	seed uint64, method string, valM, initialM, maxM, fixedZ int, explain, trace, traceTree bool, showRows int, server string) error {
 
 	db := spq.NewDB()
 	var inst *workload.Instance
@@ -154,7 +155,10 @@ func run(queryText, queryFile, csvPath, wname, paperQuery string, list bool, n i
 		if explain {
 			return fmt.Errorf("-explain is local-only; drop -server")
 		}
-		return runRemote(server, text, method, seed, valM, initialM, maxM, fixedZ, trace, showRows)
+		return runRemote(server, text, method, seed, valM, initialM, maxM, fixedZ, trace, traceTree, showRows)
+	}
+	if traceTree {
+		return fmt.Errorf("-trace-tree needs -server (the span tree is collected by the daemon)")
 	}
 
 	if explain {
@@ -210,7 +214,7 @@ func run(queryText, queryFile, csvPath, wname, paperQuery string, list bool, n i
 // runRemote submits the query to a running spqd through the v1 async API
 // and renders the remote job: progress events stream as they happen (with
 // -trace), then the final package.
-func runRemote(server, text, method string, seed uint64, valM, initialM, maxM, fixedZ int, trace bool, showRows int) error {
+func runRemote(server, text, method string, seed uint64, valM, initialM, maxM, fixedZ int, trace, traceTree bool, showRows int) error {
 	c, err := client.New(server)
 	if err != nil {
 		return err
@@ -267,6 +271,20 @@ func runRemote(server, text, method string, seed uint64, valM, initialM, maxM, f
 	fmt.Println()
 	for k, surplus := range r.Surpluses {
 		fmt.Printf("constraint %d p-surplus: %+.4f\n", k+1, surplus)
+	}
+	if traceTree {
+		// The terminal job carries the tree, but fetch through the trace
+		// endpoint: it works on running and historical jobs alike.
+		tr := final.Trace
+		if tr == nil {
+			tr, err = c.Trace(ctx, job.ID)
+			if err != nil {
+				return fmt.Errorf("fetch trace: %w", err)
+			}
+		}
+		fmt.Println()
+		fmt.Printf("trace %s:\n", tr.TraceID)
+		fmt.Print(tr.Render())
 	}
 	if len(r.Package) == 0 {
 		fmt.Println("(empty package)")

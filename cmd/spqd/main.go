@@ -34,6 +34,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers on DefaultServeMux, served only on -pprof-addr
 	"net/url"
 	"os"
 	"os/signal"
@@ -46,6 +47,7 @@ import (
 	"spq"
 	"spq/internal/core"
 	"spq/internal/engine"
+	"spq/internal/obs"
 	"spq/internal/remote"
 	"spq/internal/resultcache"
 	"spq/internal/workload"
@@ -74,6 +76,10 @@ type config struct {
 	remoteInflight int
 	remoteFallback bool
 	peers          string
+
+	logFormat string
+	slowQuery time.Duration
+	pprofAddr string
 }
 
 func main() {
@@ -97,6 +103,9 @@ func main() {
 	flag.IntVar(&cfg.remoteInflight, "remote-inflight", 0, "max concurrent remote sub-solve dispatches (0 = 4 per worker)")
 	flag.BoolVar(&cfg.remoteFallback, "remote-fallback", true, "re-solve locally when a worker fails (false surfaces the worker error)")
 	flag.StringVar(&cfg.peers, "peers", "", "comma-separated peer spqd base URLs to replicate the result cache with")
+	flag.StringVar(&cfg.logFormat, "log-format", "text", "log format for structured events: \"text\" or \"json\" (one object per line)")
+	flag.DurationVar(&cfg.slowQuery, "slow-query", 0, "log queries slower than this threshold with their full span tree (0 disables)")
+	flag.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this separate address (empty disables; bind it privately)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -202,6 +211,11 @@ func run(cfg config) error {
 	}
 	sort.Strings(tables)
 
+	logger, err := obs.NewLogger(os.Stderr, cfg.logFormat)
+	if err != nil {
+		return fmt.Errorf("-log-format: %w", err)
+	}
+
 	eopts := &engine.Options{
 		MaxInFlight:     cfg.maxInFlight,
 		MaxQueue:        cfg.maxQueue,
@@ -211,6 +225,8 @@ func run(cfg config) error {
 		Parallelism:     cfg.parallelism,
 		MaxJobs:         cfg.maxJobs,
 		JobHistory:      cfg.jobHistory,
+		Logger:          logger,
+		SlowQuery:       cfg.slowQuery,
 	}
 
 	// Coordinator mode: build the remote solver over the worker pool and
@@ -264,9 +280,22 @@ func run(cfg config) error {
 
 	eng := spq.NewEngine(db, eopts)
 
+	// pprof stays off the query listener: profiling endpoints reveal memory
+	// contents and must never face query traffic. The blank net/http/pprof
+	// import registered its handlers on the DefaultServeMux, which only this
+	// (optional, separately bound) server exposes.
+	if cfg.pprofAddr != "" {
+		go func() {
+			log.Printf("spqd: pprof listening on %s", cfg.pprofAddr)
+			if err := http.ListenAndServe(cfg.pprofAddr, nil); err != nil {
+				log.Printf("spqd: pprof server: %v", err)
+			}
+		}()
+	}
+
 	srv := &http.Server{
 		Addr:    cfg.addr,
-		Handler: logRequests(eng.Handler()),
+		Handler: logRequests(eng.Handler(), logger),
 		// Bound connection-level reads so trickling clients cannot pin
 		// goroutines forever. WriteTimeout stays 0: responses legitimately
 		// take up to the per-query -timeout, which the engine enforces.
@@ -304,11 +333,56 @@ func run(cfg config) error {
 	}
 }
 
-// logRequests is a minimal access log.
-func logRequests(next http.Handler) http.Handler {
+// statusWriter records the status code and response bytes the handler
+// actually wrote, so the access log can report them.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// logRequests is the access log: method, path, status, bytes, latency —
+// one line per request, structured when -log-format json.
+func logRequests(next http.Handler, logger *obs.Logger) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		next.ServeHTTP(w, r)
-		log.Printf("spqd: %s %s (%s)", r.Method, r.URL.Path, time.Since(start).Round(time.Millisecond))
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		if logger != nil && logger.JSON() {
+			logger.Event("http_request", map[string]any{
+				"method":      r.Method,
+				"path":        r.URL.Path,
+				"status":      sw.status,
+				"bytes":       sw.bytes,
+				"duration_ms": time.Since(start).Milliseconds(),
+			})
+			return
+		}
+		log.Printf("spqd: %s %s %d %dB (%s)", r.Method, r.URL.Path, sw.status, sw.bytes, time.Since(start).Round(time.Millisecond))
 	})
 }

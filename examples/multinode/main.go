@@ -9,6 +9,11 @@
 //  2. Result-cache replication: the workers are peers; a query solved on
 //     one is answered by the other from its replicated cache without
 //     solving.
+//  3. Fleet-wide observability: the dispatched query produces ONE trace —
+//     the workers adopt the coordinator's trace ID from the X-Spq-Trace
+//     header and their span trees come back grafted under the dispatch
+//     spans — and every daemon's /metrics endpoint exports phase-latency
+//     histograms that agree with its own counters.
 //
 // Every node loads the portfolio workload from the same seed — the
 // shared-data assumption a real fleet meets the same way. Run with:
@@ -19,6 +24,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"fmt"
 	"log"
@@ -26,9 +32,12 @@ import (
 	"net/http"
 	"os"
 	"reflect"
+	"strconv"
+	"strings"
 	"time"
 
 	"spq"
+	"spq/internal/obs"
 	"spq/internal/resultcache"
 	"spq/internal/workload"
 )
@@ -109,7 +118,8 @@ func main() {
 		SketchSolver: rs,
 		RemoteStats:  rs.Stats,
 	})
-	fmt.Printf("coordinator up: %s\n", serve(coordinator))
+	coordURL := serve(coordinator)
+	fmt.Printf("coordinator up: %s\n", coordURL)
 
 	// A pure-local reference engine computes the answer the fleet must
 	// reproduce bit-for-bit.
@@ -171,5 +181,96 @@ func main() {
 	}
 	fmt.Println("  distributed ≡ local: bit-identical ✓")
 
+	// --- 3. one trace across the fleet ---
+	// The coordinator minted the trace; each dispatch carried its ID to a
+	// worker in the X-Spq-Trace header, and the worker's span tree came back
+	// grafted under the remote/dispatch span. One trace ID, three daemons.
+	tr := distributed.Trace
+	if tr == nil {
+		fail("coordinator query returned no trace")
+	}
+	spans := 0
+	workersSeen := map[string]bool{}
+	grafted := 0
+	phaseSpans := map[string]int{}
+	tr.Walk(func(d *obs.SpanData) {
+		spans++
+		phaseSpans[obs.PhaseName(d.Name)]++
+		if d.Name != "remote/dispatch" {
+			return
+		}
+		workersSeen[d.Attrs["worker"]] = true
+		for _, c := range d.Children {
+			if c.Name == "query" {
+				grafted++
+				if c.TraceID != tr.TraceID {
+					fail("worker trace id %q != coordinator %q", c.TraceID, tr.TraceID)
+				}
+			}
+		}
+	})
+	fmt.Printf("\nfleet trace %s: %d spans, %d dispatches to %d worker(s), %d grafted worker trees\n",
+		tr.TraceID, spans, phaseSpans["remote/dispatch"], len(workersSeen), grafted)
+	for _, phase := range []string{"sketch/shard", "refine", "solve"} {
+		if phaseSpans[phase] == 0 {
+			fail("trace has no %s spans: %v", phase, phaseSpans)
+		}
+	}
+	if grafted != phaseSpans["remote/dispatch"] {
+		fail("%d dispatches but %d grafted worker trees", phaseSpans["remote/dispatch"], grafted)
+	}
+	fmt.Printf("  phases observed: sketch/shard ×%d, refine ×%d, solve ×%d — all under one trace ID ✓\n",
+		phaseSpans["sketch/shard"], phaseSpans["refine"], phaseSpans["solve"])
+
+	// Every daemon exports /metrics; the phase histograms must agree with
+	// the counters the same daemon reports on /stats (shared registry).
+	for _, node := range []struct {
+		name string
+		url  string
+		eng  *spq.Engine
+	}{{"worker A", urlA, workerA}, {"worker B", urlB, workerB}} {
+		solves := scrapeInt(fail, node.url, `spq_phase_latency_seconds_count{phase="solve"}`)
+		if want := node.eng.Stats().MilpSolves; solves != want {
+			fail("%s: /metrics solve-phase count %d != %d MILP solves on /stats", node.name, solves, want)
+		}
+		queries := scrapeInt(fail, node.url, `spq_queries_total`)
+		if queries != node.eng.Stats().Queries {
+			fail("%s: /metrics queries %d != /stats %d", node.name, queries, node.eng.Stats().Queries)
+		}
+		fmt.Printf("  %s /metrics: %d queries, %d solve-phase observations ≡ /stats ✓\n",
+			node.name, queries, solves)
+	}
+	// The coordinator ran no MILP itself — every solve was dispatched — so
+	// its histograms show the sketch phases it drove, not solver time.
+	shards := scrapeInt(fail, coordURL, `spq_phase_latency_seconds_count{phase="sketch/shard"}`)
+	if shards != int64(phaseSpans["sketch/shard"]) {
+		fail("coordinator: /metrics shard-phase count %d != %d shard spans in the trace",
+			shards, phaseSpans["sketch/shard"])
+	}
+	fmt.Printf("  coordinator /metrics: %d sketch/shard observations ≡ trace ✓\n", shards)
+
 	fmt.Println("\nPASS")
+}
+
+// scrapeInt fetches a daemon's /metrics and returns one sample's integer
+// value, the way a Prometheus scrape would read it.
+func scrapeInt(fail func(string, ...any), base, sample string) int64 {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		fail("scrape %s: %v", base, err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, sample+" "); ok {
+			v, err := strconv.ParseInt(rest, 10, 64)
+			if err != nil {
+				fail("bad sample %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	fail("no %s sample on %s/metrics", sample, base)
+	return 0
 }

@@ -11,7 +11,9 @@ import (
 	"time"
 
 	"spq/internal/milp"
+	"spq/internal/obs"
 	"spq/internal/rng"
+	"spq/internal/scenario"
 	"spq/internal/translate"
 )
 
@@ -149,7 +151,10 @@ type Iteration struct {
 	Coefficients int
 	// Nodes is the branch-and-bound node count of the iteration's MILP
 	// solve (0 for iterations that never reached a solve).
-	Nodes        int
+	Nodes int
+	// LPIters is the total simplex iterations of the iteration's MILP solve
+	// (root relaxation plus every node LP).
+	LPIters      int
 	SolveTime    time.Duration
 	ValidateTime time.Duration
 	Feasible     bool
@@ -189,6 +194,9 @@ type Solution struct {
 	MILPSolves  int
 	MILPNodes   int
 	MILPWorkers int
+	// LPIters is the total simplex iterations across every MILP solve of
+	// the evaluation (observational, like the MILP counters above).
+	LPIters int
 }
 
 // HitLimit reports whether the evaluation was cut short by a wall-clock or
@@ -240,6 +248,7 @@ type runner struct {
 	milpSolves  int
 	milpNodes   int
 	milpWorkers int
+	lpIters     int
 }
 
 func newRunner(ctx context.Context, silp *translate.SILP, o *Options) *runner {
@@ -300,9 +309,48 @@ func (r *runner) solverOptions(initial []float64) *milp.Options {
 func (r *runner) noteSolve(res *milp.Result) {
 	r.milpSolves++
 	r.milpNodes += res.Nodes
+	r.lpIters += res.LPIters
 	if res.Workers > r.milpWorkers {
 		r.milpWorkers = res.Workers
 	}
+}
+
+// solveMILP runs one MILP solve under a "solve" trace span carrying the
+// per-solve LP statistics (simplex iterations, branch-and-bound nodes and
+// rounds) and folds the result into the runner's accounting. Tracing is
+// observational: on an untraced context the span calls are inert no-ops.
+func (r *runner) solveMILP(kind string, model *milp.Model, opts *milp.Options) (*milp.Result, error) {
+	sp := obs.SpanFromContext(r.ctx).StartChild("solve")
+	sp.SetAttr("kind", kind)
+	res, err := milp.Solve(model, opts)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+		sp.End()
+		return nil, err
+	}
+	sp.SetAttr("status", res.Status.String())
+	sp.SetInt("nodes", int64(res.Nodes))
+	sp.SetInt("rounds", int64(res.Rounds))
+	sp.SetInt("lp_iters", int64(res.LPIters))
+	sp.End()
+	r.noteSolve(res)
+	return res, nil
+}
+
+// generateSets is GenerateSetsP under a "generate" trace span.
+func (r *runner) generateSets(first, m int) ([]*scenario.Set, *scenario.Set, error) {
+	sp := obs.SpanFromContext(r.ctx).StartChild("generate")
+	sp.SetInt("m", int64(m))
+	defer sp.End()
+	return r.silp.GenerateSetsP(r.ctx, r.optSrc, first, m, r.opts.Parallelism)
+}
+
+// extendSets is ExtendSetsP under a "generate" trace span.
+func (r *runner) extendSets(sets []*scenario.Set, objSet *scenario.Set, grow int) error {
+	sp := obs.SpanFromContext(r.ctx).StartChild("generate")
+	sp.SetInt("grow", int64(grow))
+	defer sp.End()
+	return r.silp.ExtendSetsP(r.ctx, r.optSrc, sets, objSet, grow, r.opts.Parallelism)
 }
 
 // finish stamps end-of-evaluation bookkeeping (wall-clock time, MILP
@@ -312,5 +360,6 @@ func (r *runner) finish(sol *Solution) *Solution {
 	sol.MILPSolves = r.milpSolves
 	sol.MILPNodes = r.milpNodes
 	sol.MILPWorkers = r.milpWorkers
+	sol.LPIters = r.lpIters
 	return sol
 }

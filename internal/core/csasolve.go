@@ -7,7 +7,7 @@ import (
 	"time"
 
 	"spq/internal/fit"
-	"spq/internal/milp"
+	"spq/internal/obs"
 	"spq/internal/rng"
 	"spq/internal/scenario"
 	"spq/internal/translate"
@@ -232,6 +232,8 @@ func (r *runner) csaSolve(sets []*scenario.Set, objSet *scenario.Set, x0 []float
 		lastFeasible = val.Feasible
 
 		// Build the summaries (§5.3, §5.5) and the reduced DILP.
+		sumSpan := obs.SpanFromContext(r.ctx).StartChild("summarize")
+		sumSpan.SetInt("z", int64(zCount))
 		summaries := make([][]*scenario.Summary, k)
 		for ck, pc := range silp.ProbCons {
 			dir := pc.Direction()
@@ -249,27 +251,29 @@ func (r *runner) csaSolve(sets []*scenario.Set, objSet *scenario.Set, x0 []float
 				}
 				sm, err := sets[ck].SummarizeP(r.ctx, chosen, dir, accel, r.opts.Parallelism)
 				if err != nil {
+					sumSpan.End()
 					return nil, err
 				}
 				summaries[ck] = append(summaries[ck], sm)
 			}
 		}
+		sumSpan.End()
 		model, vm, err := silp.FormulateCSA(summaries, objSummaries)
 		if err != nil {
 			return nil, err
 		}
 		solveStart := time.Now()
-		res, err := milp.Solve(model, r.solverOptions(nil))
+		res, err := r.solveMILP("csa", model, r.solverOptions(nil))
 		if err != nil {
 			return nil, fmt.Errorf("core: CSA solve (M=%d, Z=%d): %w", mCount, zCount, err)
 		}
-		r.noteSolve(res)
 		if err := r.ctx.Err(); err != nil {
 			return nil, err
 		}
 		(*iters)[len(*iters)-1].SolverStatus = res.Status
 		(*iters)[len(*iters)-1].Coefficients = res.Coefficients
 		(*iters)[len(*iters)-1].Nodes = res.Nodes
+		(*iters)[len(*iters)-1].LPIters = res.LPIters
 		(*iters)[len(*iters)-1].SolveTime = time.Since(solveStart)
 		if res.X == nil {
 			// The conservative problem is unsolvable at these α's: back off

@@ -6,7 +6,6 @@ import (
 	"math"
 	"time"
 
-	"spq/internal/milp"
 	"spq/internal/translate"
 )
 
@@ -26,7 +25,7 @@ func NaiveCtx(ctx context.Context, silp *translate.SILP, o *Options) (*Solution,
 	sol := &Solution{EpsUpper: infEps()}
 
 	m := r.opts.InitialM
-	sets, objSet, err := silp.GenerateSetsP(r.ctx, r.optSrc, 0, m, r.opts.Parallelism)
+	sets, objSet, err := r.generateSets(0, m)
 	if err != nil {
 		return nil, err
 	}
@@ -40,11 +39,10 @@ func NaiveCtx(ctx context.Context, silp *translate.SILP, o *Options) (*Solution,
 			return nil, err
 		}
 		solveStart := time.Now()
-		res, err := milp.Solve(model, r.solverOptions(nil))
+		res, err := r.solveMILP("saa", model, r.solverOptions(nil))
 		if err != nil {
 			return nil, fmt.Errorf("core: naive solve with M=%d: %w", m, err)
 		}
-		r.noteSolve(res)
 		if err := r.ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -53,6 +51,7 @@ func NaiveCtx(ctx context.Context, silp *translate.SILP, o *Options) (*Solution,
 			SolverStatus: res.Status,
 			Coefficients: res.Coefficients,
 			Nodes:        res.Nodes,
+			LPIters:      res.LPIters,
 			SolveTime:    time.Since(solveStart),
 		}
 		if res.X != nil {
@@ -86,7 +85,7 @@ func NaiveCtx(ctx context.Context, silp *translate.SILP, o *Options) (*Solution,
 		if m+grow > r.opts.MaxM {
 			grow = r.opts.MaxM - m
 		}
-		if err := silp.ExtendSetsP(r.ctx, r.optSrc, sets, objSet, grow, r.opts.Parallelism); err != nil {
+		if err := r.extendSets(sets, objSet, grow); err != nil {
 			return nil, err
 		}
 		m += grow

@@ -41,11 +41,10 @@ func (r *runner) solveUnconstrained() ([]float64, error) {
 		}
 		model.AddRow(idxs, coefs, c.Lo, c.Hi)
 	}
-	res, err := milp.Solve(model, r.solverOptions(nil))
+	res, err := r.solveMILP("unconstrained", model, r.solverOptions(nil))
 	if err != nil {
 		return nil, err
 	}
-	r.noteSolve(res)
 	if err := r.ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -104,7 +103,7 @@ func SummarySearchCtx(ctx context.Context, silp *translate.SILP, o *Options) (*S
 	if r.opts.FixedZ > 0 {
 		z = r.opts.FixedZ
 	}
-	sets, objSet, err := silp.GenerateSetsP(r.ctx, r.optSrc, 0, m, r.opts.Parallelism)
+	sets, objSet, err := r.generateSets(0, m)
 	if err != nil {
 		return nil, err
 	}
@@ -146,7 +145,7 @@ func SummarySearchCtx(ctx context.Context, silp *translate.SILP, o *Options) (*S
 		if m+grow > r.opts.MaxM {
 			grow = r.opts.MaxM - m
 		}
-		if err := silp.ExtendSetsP(r.ctx, r.optSrc, sets, objSet, grow, r.opts.Parallelism); err != nil {
+		if err := r.extendSets(sets, objSet, grow); err != nil {
 			return nil, err
 		}
 		m += grow

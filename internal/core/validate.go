@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 
+	"spq/internal/obs"
 	"spq/internal/par"
 	"spq/internal/spaql"
 	"spq/internal/translate"
@@ -59,6 +60,9 @@ func Validate(ctx context.Context, silp *translate.SILP, x []float64, o *Options
 func (r *runner) validate(x []float64) (*Validation, error) {
 	mhat := r.opts.ValidationM
 	silp := r.silp
+	sp := obs.SpanFromContext(r.ctx).StartChild("validate")
+	sp.SetInt("m_hat", int64(mhat))
+	defer sp.End()
 	val := &Validation{Feasible: true, EpsUpper: math.Inf(1)}
 
 	var pkg []int

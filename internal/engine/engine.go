@@ -54,6 +54,7 @@ import (
 
 	"spq/client"
 	"spq/internal/core"
+	"spq/internal/obs"
 	"spq/internal/relation"
 	"spq/internal/remote"
 	"spq/internal/resultcache"
@@ -127,6 +128,13 @@ type Options struct {
 	// RemoteStats, when non-nil, is snapshotted into the remote_* Stats
 	// fields (set by daemons that registered a remote solver).
 	RemoteStats func() remote.Stats
+	// Logger, when non-nil, receives the engine's structured events — today
+	// the slow-query log (see SlowQuery).
+	Logger *obs.Logger
+	// SlowQuery, when > 0, logs every query whose end-to-end evaluation
+	// (admission wait included) took at least this long, stamped with its
+	// trace ID and the full rendered span tree.
+	SlowQuery time.Duration
 }
 
 func (o *Options) withDefaults() Options {
@@ -193,6 +201,12 @@ type Request struct {
 	// solve runs (installed into core.Options; see core.Progress). It never
 	// fires for result-cache hits, where no solve runs.
 	Progress func(core.Progress)
+	// TraceParent, when non-empty, is an obs.TraceParent rendering
+	// ("<trace-id>/<span-name>") propagated from an upstream daemon (the
+	// X-Spq-Trace header): the evaluation's trace adopts the upstream trace
+	// ID so coordinator and worker spans correlate. Like Progress it is
+	// purely observational and never joins cache keys.
+	TraceParent string
 	// onAdmit, when non-nil, is called exactly once when the query acquires
 	// a solve slot (after any admission wait). The job manager uses it to
 	// move jobs from queued to running.
@@ -216,6 +230,11 @@ type Result struct {
 	Sketch *sketch.Stats
 	// Wait is the time spent in the admission queue before solving.
 	Wait time.Duration
+	// Trace is the evaluation's finished span tree, set only when the
+	// engine minted the trace itself (a direct Query call with no ambient
+	// span). Job submissions expose their trace via the job instead
+	// (GET /v1/queries/{id}/trace).
+	Trace *obs.SpanData
 }
 
 // Multiplicities returns the package as a map from base-relation tuple
@@ -389,21 +408,9 @@ type Engine struct {
 	opts Options
 	sem  chan struct{}
 
-	queries        atomic.Int64
-	failures       atomic.Int64
-	rejected       atomic.Int64
-	cacheHits      atomic.Int64
-	cacheMisses    atomic.Int64
-	resultHits     atomic.Int64
-	resultMisses   atomic.Int64
-	sketchQueries  atomic.Int64
-	shardSolves    atomic.Int64
-	milpSolves     atomic.Int64
-	milpNodes      atomic.Int64
-	milpWorkersMax atomic.Int64
-	active         atomic.Int64
-	queued         atomic.Int64
-	solveNanos     atomic.Int64
+	// m holds every operational instrument (internal/obs registry handles).
+	// Stats() and GET /metrics both read from it.
+	m *engineMetrics
 
 	mu    sync.Mutex
 	plans *lruCache
@@ -422,12 +429,6 @@ type Engine struct {
 	jobList     []*Job
 	jobFinished int
 	jobSeq      atomic.Int64
-
-	jobsSubmitted atomic.Int64
-	jobsRunning   atomic.Int64
-	jobsCompleted atomic.Int64
-	jobsCancelled atomic.Int64
-	jobsEvicted   atomic.Int64
 }
 
 // New creates an engine over the catalog.
@@ -449,6 +450,7 @@ func New(cat Catalog, o *Options) *Engine {
 	if e.results != nil {
 		_, e.wantWire = e.results.(interface{ Counters() resultcache.Counters })
 	}
+	e.m = newEngineMetrics(e)
 	return e
 }
 
@@ -465,12 +467,12 @@ func New(cat Catalog, o *Options) *Engine {
 func (e *Engine) prepare(q *spaql.Query, key string) (*plan, bool, error) {
 	if p := e.planGet(key); p != nil {
 		if rel, ok := e.cat.Table(p.query.Table); ok && rel == p.table && rel.Version() == p.relVersion {
-			e.cacheHits.Add(1)
+			e.m.planHits.Inc()
 			return p, true, nil
 		}
 		e.planDrop(key)
 	}
-	e.cacheMisses.Add(1)
+	e.m.planMisses.Inc()
 
 	rel, ok := e.cat.Table(q.Table)
 	if !ok {
@@ -592,7 +594,7 @@ func (e *Engine) resultGet(key string) *cachedResult {
 	}
 	ent, ok := e.results.Get(key)
 	if !ok {
-		e.resultMisses.Add(1)
+		e.m.resultMisses.Inc()
 		return nil
 	}
 	if rel, live := e.cat.Table(ent.Table); live && rel.Version() == ent.Version {
@@ -601,7 +603,7 @@ func (e *Engine) resultGet(key string) *cachedResult {
 			// different relation re-registered under the same name whose
 			// fresh version counter happens to coincide.
 			if cr.table == rel {
-				e.resultHits.Add(1)
+				e.m.resultHits.Inc()
 				return cr
 			}
 		} else if cr := e.materialize(ent); cr != nil {
@@ -610,12 +612,12 @@ func (e *Engine) resultGet(key string) *cachedResult {
 				Local: cr, Wire: ent.Wire,
 				Remote: true, // a promoted peer entry still never re-replicates
 			})
-			e.resultHits.Add(1)
+			e.m.resultHits.Inc()
 			return cr
 		}
 	}
 	e.results.Drop(key, ent)
-	e.resultMisses.Add(1)
+	e.m.resultMisses.Inc()
 	return nil
 }
 
@@ -683,25 +685,78 @@ func (e *Engine) resultPut(key, method string, cr *cachedResult, spec *client.So
 // and otherwise waits for a solve slot (rejecting immediately when MaxQueue
 // other queries are already waiting), bounds the evaluation by the request
 // timeout, and runs the selected method with the engine's parallelism.
+//
+// Every evaluation is traced. When the context already carries a span (the
+// async job manager installs the job's root span), the evaluation's phases
+// nest under it; otherwise the engine mints a trace of its own — honoring
+// Request.TraceParent's trace ID — and returns the finished tree in
+// Result.Trace. Tracing is purely observational: spans never join cache
+// keys and never feed solver state, so traced and untraced runs are
+// bit-identical.
 func (e *Engine) Query(ctx context.Context, req Request) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	e.queries.Add(1)
+	if obs.SpanFromContext(ctx) != nil {
+		return e.query(ctx, req)
+	}
+	id, parent := obs.ParseTraceParent(req.TraceParent)
+	tr := e.newTrace(id, "query")
+	root := tr.Root()
+	if parent != "" {
+		root.SetAttr("parent", parent)
+	}
+	start := time.Now()
+	res, err := e.query(obs.ContextWithSpan(ctx, root), req)
+	if err != nil {
+		root.SetAttr("error", err.Error())
+	}
+	root.End()
+	e.maybeLogSlow(tr, req.Query, req.Method, time.Since(start))
+	if res != nil {
+		res.Trace = tr.Data()
+	}
+	return res, err
+}
+
+// maybeLogSlow emits the slow-query log event when the evaluation cleared
+// the configured threshold: one structured event carrying the trace ID and
+// the rendered span tree.
+func (e *Engine) maybeLogSlow(tr *obs.Trace, query, method string, d time.Duration) {
+	if tr == nil || e.opts.Logger == nil || e.opts.SlowQuery <= 0 || d < e.opts.SlowQuery {
+		return
+	}
+	e.opts.Logger.Event("slow_query", map[string]any{
+		"trace_id":    tr.ID(),
+		"method":      method,
+		"query":       query,
+		"duration_ms": d.Milliseconds(),
+		"trace":       obs.Render(tr.Data()),
+	})
+}
+
+// query is Query's body; ctx carries the evaluation's parent span.
+func (e *Engine) query(ctx context.Context, req Request) (*Result, error) {
+	e.m.queries.Inc()
+	sp := obs.SpanFromContext(ctx)
 
 	// An already-cancelled context never evaluates — not even from the
 	// result cache (a job cancelled while queued must not succeed).
 	if err := ctx.Err(); err != nil {
-		e.failures.Add(1)
+		e.m.failures.Inc()
 		return nil, err
 	}
 
+	ps := sp.StartChild("parse")
 	q, err := spaql.Parse(req.Query)
 	if err != nil {
-		e.failures.Add(1)
+		ps.SetAttr("error", err.Error())
+		ps.End()
+		e.m.failures.Inc()
 		return nil, fmt.Errorf("%w: %w", ErrBadQuery, err)
 	}
 	qstr := q.String()
+	ps.End()
 
 	// method is canonicalized through the solver registry to the cache-key
 	// name of the computation: "" and "summarysearch" are the same
@@ -712,7 +767,7 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Result, error) {
 	var solver core.Solver
 	if method != "sketch" {
 		if solver, err = core.SolverByName(method); err != nil {
-			e.failures.Add(1)
+			e.m.failures.Inc()
 			return nil, fmt.Errorf("%w %q", ErrUnknownMethod, req.Method)
 		}
 		method = core.SolverCacheKey(solver)
@@ -751,38 +806,46 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Result, error) {
 	// Identical deterministic requests are answered without solving (and
 	// without consuming a solve slot or queue capacity).
 	rkey := resultKey(qstr, method, &opts, timeout, sopts, req.Solve)
+	sp.SetAttr("method", method)
 	if cr := e.resultGet(rkey); cr != nil {
+		sp.SetAttr("result_cache", "hit")
 		return &Result{Solution: cr.sol, Query: cr.query, Rel: cr.rel, ResultCacheHit: true, Sketch: cr.sketch}, nil
 	}
 
 	// Admission control: the total commitment (solving + waiting) may not
 	// exceed MaxInFlight + MaxQueue.
-	if e.queued.Add(1) > int64(e.opts.MaxInFlight+e.opts.MaxQueue) {
-		e.queued.Add(-1)
-		e.rejected.Add(1)
+	if e.m.queued.Add(1) > int64(e.opts.MaxInFlight+e.opts.MaxQueue) {
+		e.m.queued.Add(-1)
+		e.m.rejected.Inc()
 		return nil, ErrOverloaded
 	}
-	defer e.queued.Add(-1)
+	defer e.m.queued.Add(-1)
 
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 
 	enqueued := time.Now()
+	ws := sp.StartChild("wait")
 	select {
 	case e.sem <- struct{}{}:
 	case <-ctx.Done():
-		e.failures.Add(1)
+		ws.SetAttr("error", ctx.Err().Error())
+		ws.End()
+		e.m.failures.Inc()
 		return nil, ctx.Err()
 	}
+	ws.End()
 	defer func() { <-e.sem }()
 	wait := time.Since(enqueued)
+	e.m.admissionWait.Observe(wait.Seconds())
 	if req.onAdmit != nil {
 		req.onAdmit()
 	}
 
-	e.active.Add(1)
-	defer e.active.Add(-1)
+	e.m.active.Add(1)
+	defer e.m.active.Add(-1)
 
+	pls := sp.StartChild("plan")
 	var p *plan
 	var hit bool
 	if req.Solve != nil {
@@ -791,25 +854,37 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Result, error) {
 		p, hit, err = e.prepare(q, qstr)
 	}
 	if err != nil {
-		e.failures.Add(1)
+		pls.SetAttr("error", err.Error())
+		pls.End()
+		e.m.failures.Inc()
 		return nil, fmt.Errorf("%w: %w", ErrBadQuery, err)
 	}
+	if hit {
+		pls.SetAttr("plan_cache", "hit")
+	}
+	pls.End()
 
 	solveStart := time.Now()
+	sctx, ss := obs.StartSpan(ctx, method)
 	var sol *core.Solution
 	var sstats *sketch.Stats
 	if method == "sketch" {
-		sol, sstats, err = sketch.SolveSILP(ctx, p.silp, &opts, sopts)
+		sol, sstats, err = sketch.SolveSILP(sctx, p.silp, &opts, sopts)
 		if sstats != nil {
-			e.sketchQueries.Add(1)
-			e.shardSolves.Add(int64(sstats.ShardSolves))
+			e.m.sketchQueries.Inc()
+			e.m.shardSolves.Add(int64(sstats.ShardSolves))
+			ss.SetInt("shard_solves", int64(sstats.ShardSolves))
 		}
 	} else {
-		sol, err = solver.Solve(ctx, p.silp, &opts)
+		sol, err = solver.Solve(sctx, p.silp, &opts)
 	}
-	e.solveNanos.Add(int64(time.Since(solveStart)))
 	if err != nil {
-		e.failures.Add(1)
+		ss.SetAttr("error", err.Error())
+	}
+	ss.End()
+	e.m.solveLatency.Observe(time.Since(solveStart).Seconds())
+	if err != nil {
+		e.m.failures.Inc()
 		if errors.Is(err, core.ErrInfeasible) {
 			// The query's deterministic constraints are unsatisfiable:
 			// that is a property of the request, not a server fault.
@@ -818,14 +893,10 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Result, error) {
 		return nil, err
 	}
 
-	e.milpSolves.Add(int64(sol.MILPSolves))
-	e.milpNodes.Add(int64(sol.MILPNodes))
-	for {
-		cur := e.milpWorkersMax.Load()
-		if int64(sol.MILPWorkers) <= cur || e.milpWorkersMax.CompareAndSwap(cur, int64(sol.MILPWorkers)) {
-			break
-		}
-	}
+	e.m.milpSolves.Add(int64(sol.MILPSolves))
+	e.m.milpNodes.Add(int64(sol.MILPNodes))
+	e.m.lpIters.Add(int64(sol.LPIters))
+	e.m.milpWorkersMax.SetMax(int64(sol.MILPWorkers))
 
 	// The solution's X indexes p.silp.Rel for every method: the sketch
 	// pipeline maps its refine solution back to the plan's view. A solution
@@ -843,7 +914,9 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Result, error) {
 	return &Result{Solution: sol, Query: p.query, Rel: p.silp.Rel, CacheHit: hit, Sketch: sstats, Wait: wait}, nil
 }
 
-// Stats returns a snapshot of the engine's counters.
+// Stats returns a snapshot of the engine's counters. It reads the same
+// registry instruments GET /metrics renders, so the two surfaces agree by
+// construction.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	planLen := e.plans.len()
@@ -852,37 +925,37 @@ func (e *Engine) Stats() Stats {
 	if e.results != nil {
 		resultLen = e.results.Len()
 	}
-	// The queued counter tracks the engine's total commitment (waiting +
+	// The queued gauge tracks the engine's total commitment (waiting +
 	// solving) for admission; report only the waiting backlog.
-	waiting := e.queued.Load() - e.active.Load()
+	waiting := e.m.queued.Value() - e.m.active.Value()
 	if waiting < 0 {
 		waiting = 0
 	}
 	st := Stats{
-		Queries:           e.queries.Load(),
-		Failures:          e.failures.Load(),
-		Rejected:          e.rejected.Load(),
-		CacheHits:         e.cacheHits.Load(),
-		CacheMisses:       e.cacheMisses.Load(),
-		ResultCacheHits:   e.resultHits.Load(),
-		ResultCacheMisses: e.resultMisses.Load(),
-		SketchQueries:     e.sketchQueries.Load(),
-		ShardSolves:       e.shardSolves.Load(),
-		MilpSolves:        e.milpSolves.Load(),
-		MilpNodes:         e.milpNodes.Load(),
-		MilpWorkersMax:    e.milpWorkersMax.Load(),
-		Active:            e.active.Load(),
+		Queries:           e.m.queries.Value(),
+		Failures:          e.m.failures.Value(),
+		Rejected:          e.m.rejected.Value(),
+		CacheHits:         e.m.planHits.Value(),
+		CacheMisses:       e.m.planMisses.Value(),
+		ResultCacheHits:   e.m.resultHits.Value(),
+		ResultCacheMisses: e.m.resultMisses.Value(),
+		SketchQueries:     e.m.sketchQueries.Value(),
+		ShardSolves:       e.m.shardSolves.Value(),
+		MilpSolves:        e.m.milpSolves.Value(),
+		MilpNodes:         e.m.milpNodes.Value(),
+		MilpWorkersMax:    e.m.milpWorkersMax.Value(),
+		Active:            e.m.active.Value(),
 		Queued:            waiting,
-		SolveTimeMS:       e.solveNanos.Load() / int64(time.Millisecond),
+		SolveTimeMS:       int64(e.m.solveLatency.Sum() * 1000),
 		MaxInFlight:       e.opts.MaxInFlight,
 		MaxQueue:          e.opts.MaxQueue,
 		PlanCacheLen:      planLen,
 		ResultCacheLen:    resultLen,
-		JobsSubmitted:     e.jobsSubmitted.Load(),
-		JobsRunning:       e.jobsRunning.Load(),
-		JobsCompleted:     e.jobsCompleted.Load(),
-		JobsCancelled:     e.jobsCancelled.Load(),
-		JobsEvicted:       e.jobsEvicted.Load(),
+		JobsSubmitted:     e.m.jobsSubmitted.Value(),
+		JobsRunning:       e.m.jobsRunning.Value(),
+		JobsCompleted:     e.m.jobsCompleted.Value(),
+		JobsCancelled:     e.m.jobsCancelled.Value(),
+		JobsEvicted:       e.m.jobsEvicted.Value(),
 	}
 	if c, ok := e.results.(interface{ Counters() resultcache.Counters }); ok {
 		rc := c.Counters()

@@ -161,10 +161,10 @@ func TestEngineAdmissionControl(t *testing.T) {
 
 	// Occupy the only solve slot.
 	e.sem <- struct{}{}
-	e.queued.Add(1)
+	e.m.queued.Add(1)
 	go func() {
 		<-block
-		e.queued.Add(-1)
+		e.m.queued.Add(-1)
 		<-e.sem
 	}()
 

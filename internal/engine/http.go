@@ -90,8 +90,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 //	GET    /v1/queries/{id}   — poll a job (progress events, long-poll)
 //	DELETE /v1/queries/{id}   — cancel a job
 //	POST   /v1/queries:batch  — submit many jobs
+//	GET    /v1/queries/{id}/trace — the job's span tree (works while running)
 //	GET    /healthz           — liveness probe
 //	GET    /stats             — engine + job-manager counters
+//	GET    /metrics           — the same instruments in Prometheus text format
 //
 // Every error — including unknown routes and disallowed methods — is the
 // structured JSON envelope with a stable code: admission rejections map to
@@ -110,6 +112,9 @@ func (e *Engine) Handler() http.Handler {
 		http.MethodGet:    e.handleV1Get,
 		http.MethodDelete: e.handleV1Cancel,
 	}))
+	mux.HandleFunc("/v1/queries/{id}/trace", methodsHandler(map[string]http.HandlerFunc{
+		http.MethodGet: e.handleV1Trace,
+	}))
 	mux.HandleFunc("/v1/queries:batch", methodsHandler(map[string]http.HandlerFunc{
 		http.MethodPost: e.handleV1Batch,
 	}))
@@ -122,6 +127,9 @@ func (e *Engine) Handler() http.Handler {
 		http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusOK, e.Stats())
 		},
+	}))
+	mux.HandleFunc("/metrics", methodsHandler(map[string]http.HandlerFunc{
+		http.MethodGet: e.m.reg.Handler().ServeHTTP,
 	}))
 	// A replicating result cache brings its peer endpoint along (POST
 	// receives pushed entries, GET reports replication counters).
@@ -158,9 +166,10 @@ func (e *Engine) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req := Request{
-		Query:   qr.Query,
-		Method:  qr.Method,
-		Timeout: time.Duration(qr.TimeoutMS) * time.Millisecond,
+		Query:       qr.Query,
+		Method:      qr.Method,
+		Timeout:     time.Duration(qr.TimeoutMS) * time.Millisecond,
+		TraceParent: r.Header.Get(client.TraceHeader),
 		Options: &core.Options{
 			Seed:        qr.Seed,
 			ValidationM: qr.ValidationM,

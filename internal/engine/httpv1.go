@@ -79,9 +79,10 @@ func methodsHandler(handlers map[string]http.HandlerFunc) http.HandlerFunc {
 // engineRequest lowers a typed v1 submission to the engine's request.
 func engineRequest(sr *client.SubmitRequest) (Request, *client.Error) {
 	req := Request{
-		Query:   sr.Query,
-		Method:  sr.Method,
-		Timeout: time.Duration(sr.TimeoutMS) * time.Millisecond,
+		Query:       sr.Query,
+		Method:      sr.Method,
+		Timeout:     time.Duration(sr.TimeoutMS) * time.Millisecond,
+		TraceParent: sr.TraceParent,
 	}
 	if o := sr.Options; o != nil {
 		req.Options = &core.Options{
@@ -167,6 +168,7 @@ func (e *Engine) handleV1Submit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, apiErr)
 		return
 	}
+	sr.TraceParent = r.Header.Get(client.TraceHeader)
 	j, apiErr := e.submitOne(&sr)
 	if apiErr != nil {
 		writeError(w, apiErr)
@@ -179,7 +181,9 @@ func (e *Engine) handleV1List(w http.ResponseWriter, r *http.Request) {
 	jobs := e.Jobs()
 	out := client.ListResponse{Jobs: make([]*client.Job, 0, len(jobs))}
 	for _, j := range jobs {
-		out.Jobs = append(out.Jobs, j.Snapshot(math.MaxInt)) // no event bodies in listings
+		snap := j.Snapshot(math.MaxInt) // no event bodies in listings
+		snap.Trace = nil                // trace trees neither (GET the job or its /trace)
+		out.Jobs = append(out.Jobs, snap)
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -212,6 +216,15 @@ func (e *Engine) handleV1Get(w http.ResponseWriter, r *http.Request) {
 		wait = maxPollWait
 	}
 	writeJSON(w, http.StatusOK, j.Poll(r.Context(), since, wait))
+}
+
+func (e *Engine) handleV1Trace(w http.ResponseWriter, r *http.Request) {
+	j, ok := e.JobByID(r.PathValue("id"))
+	if !ok {
+		writeError(w, &client.Error{Code: client.CodeNotFound, Message: "unknown job " + strconv.Quote(r.PathValue("id")), HTTPStatus: http.StatusNotFound})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.TraceData())
 }
 
 func (e *Engine) handleV1Cancel(w http.ResponseWriter, r *http.Request) {

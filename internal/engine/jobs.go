@@ -12,6 +12,7 @@ import (
 
 	"spq/client"
 	"spq/internal/core"
+	"spq/internal/obs"
 	"spq/internal/relation"
 	"spq/internal/remote"
 	"spq/internal/spaql"
@@ -40,6 +41,11 @@ type Job struct {
 	created time.Time
 	cancel  context.CancelFunc
 	done    chan struct{}
+	// trace is the job's span tree, minted at submission (adopting the
+	// upstream trace ID when the request carried one) and never nil. It is
+	// strictly observational: the evaluation is bit-identical with or
+	// without it.
+	trace *obs.Trace
 
 	mu        sync.Mutex
 	state     client.JobState
@@ -53,8 +59,10 @@ type Job struct {
 	bestRel   *relation.Relation
 	result    *Result
 	wire      *client.QueryResult // rendered once at completion
+	wireTr    *client.TraceSpan   // rendered once at completion
 	err       *client.Error
 	cancelled bool          // CancelJob was called before the job finished
+	cancelAt  time.Time     // first CancelJob call (cancel-latency metric)
 	changed   chan struct{} // closed+replaced on every update (broadcast)
 }
 
@@ -128,6 +136,7 @@ func (j *Job) Snapshot(since int) *client.Job {
 	out.BestFeasible = j.bestFeas
 	out.BestObjective = j.bestObj
 	out.Result = j.wire
+	out.Trace = j.wireTr // rendered once the job is terminal
 	out.Error = j.err
 	j.mu.Unlock()
 
@@ -269,14 +278,14 @@ func errToWire(err error) *client.Error {
 // fails with ErrOverloaded.
 func (e *Engine) Submit(req Request) (*Job, error) {
 	if _, err := spaql.Parse(req.Query); err != nil {
-		e.queries.Add(1)
-		e.failures.Add(1)
+		e.m.queries.Inc()
+		e.m.failures.Inc()
 		return nil, fmt.Errorf("%w: %w", ErrBadQuery, err)
 	}
 	if m := strings.ToLower(req.Method); m != "sketch" {
 		if _, err := core.SolverByName(m); err != nil {
-			e.queries.Add(1)
-			e.failures.Add(1)
+			e.m.queries.Inc()
+			e.m.failures.Inc()
 			return nil, fmt.Errorf("%w %q", ErrUnknownMethod, req.Method)
 		}
 	}
@@ -292,6 +301,12 @@ func (e *Engine) Submit(req Request) (*Job, error) {
 		state:   client.JobQueued,
 		changed: make(chan struct{}),
 	}
+	tid, parent := obs.ParseTraceParent(req.TraceParent)
+	j.trace = e.newTrace(tid, "query")
+	j.trace.Root().SetAttr("job", j.id)
+	if parent != "" {
+		j.trace.Root().SetAttr("parent", parent)
+	}
 
 	e.jobsMu.Lock()
 	if len(e.jobList)-e.jobFinished >= e.opts.MaxJobs {
@@ -300,14 +315,14 @@ func (e *Engine) Submit(req Request) (*Job, error) {
 		// Mirror Engine.Query's counting for rejected requests, so the
 		// queries total still means "requests received" after the legacy
 		// shim moved onto this path.
-		e.queries.Add(1)
-		e.rejected.Add(1)
+		e.m.queries.Inc()
+		e.m.rejected.Inc()
 		return nil, ErrOverloaded
 	}
 	e.jobsByID[j.id] = j
 	e.jobList = append(e.jobList, j)
 	e.jobsMu.Unlock()
-	e.jobsSubmitted.Add(1)
+	e.m.jobsSubmitted.Inc()
 
 	go e.runJob(ctx, j, req)
 	return j, nil
@@ -316,7 +331,7 @@ func (e *Engine) Submit(req Request) (*Job, error) {
 // runJob executes the job's query on the engine and finalizes the job.
 func (e *Engine) runJob(ctx context.Context, j *Job, req Request) {
 	req.onAdmit = func() {
-		e.jobsRunning.Add(1)
+		e.m.jobsRunning.Add(1)
 		j.mu.Lock()
 		j.state = client.JobRunning
 		j.started = time.Now()
@@ -341,7 +356,7 @@ func (e *Engine) runJob(ctx context.Context, j *Job, req Request) {
 		defer func() {
 			if r := recover(); r != nil {
 				res, err = nil, fmt.Errorf("engine: evaluation panicked: %v", r)
-				e.failures.Add(1)
+				e.m.failures.Inc()
 			}
 		}()
 		// A job cancelled while still queued must not complete from the
@@ -350,15 +365,25 @@ func (e *Engine) runJob(ctx context.Context, j *Job, req Request) {
 			return
 		}
 		start := time.Now()
-		res, err = e.Query(ctx, req)
+		res, err = e.Query(obs.ContextWithSpan(ctx, j.trace.Root()), req)
 		solve = time.Since(start)
 	}()
 
+	root := j.trace.Root()
+	if err != nil {
+		root.SetAttr("error", err.Error())
+	}
+	root.End()
+
 	j.mu.Lock()
 	if j.state == client.JobRunning {
-		e.jobsRunning.Add(-1)
+		e.m.jobsRunning.Add(-1)
 	}
 	j.finished = time.Now()
+	j.wireTr = wireTrace(j.trace.Data())
+	if !j.cancelAt.IsZero() {
+		e.m.cancelLatency.Observe(j.finished.Sub(j.cancelAt).Seconds())
+	}
 	switch {
 	case err == nil:
 		j.state = client.JobSucceeded
@@ -369,20 +394,22 @@ func (e *Engine) runJob(ctx context.Context, j *Job, req Request) {
 		j.bestObj = res.Objective
 		j.bestX = res.X
 		j.bestRel = res.Rel
-		e.jobsCompleted.Add(1)
+		e.m.jobsCompleted.Inc()
 	case j.cancelled && errors.Is(err, context.Canceled):
 		j.state = client.JobCancelled
 		j.err = &client.Error{Code: client.CodeCancelled, Message: "job cancelled by caller", HTTPStatus: 504}
-		e.jobsCancelled.Add(1)
+		e.m.jobsCancelled.Inc()
 	default:
 		j.state = client.JobFailed
 		j.err = errToWire(err)
-		e.jobsCompleted.Add(1)
+		e.m.jobsCompleted.Inc()
 	}
 	j.bump()
+	elapsed := j.finished.Sub(j.created)
 	j.mu.Unlock()
 	close(j.done)
 	j.cancel() // release the context's resources
+	e.maybeLogSlow(j.trace, j.query, j.method, elapsed)
 
 	// Bound the finished-job history.
 	e.jobsMu.Lock()
@@ -397,7 +424,7 @@ func (e *Engine) runJob(ctx context.Context, j *Job, req Request) {
 				e.jobList = append(e.jobList[:i], e.jobList[i+1:]...)
 				delete(e.jobsByID, old.id)
 				e.jobFinished--
-				e.jobsEvicted.Add(1)
+				e.m.jobsEvicted.Inc()
 				evicted = true
 				break
 			}
@@ -461,6 +488,13 @@ func (j *Job) observe(p core.Progress) {
 	}
 }
 
+// TraceData renders the job's span tree as its v1 wire type (the
+// GET /v1/queries/{id}/trace payload). It works on running jobs too:
+// unfinished spans report a zero duration.
+func (j *Job) TraceData() *client.TraceSpan {
+	return wireTrace(j.trace.Data())
+}
+
 // JobByID returns a tracked job (active or retained in history).
 func (e *Engine) JobByID(id string) (*Job, bool) {
 	e.jobsMu.Lock()
@@ -483,6 +517,9 @@ func (e *Engine) CancelJob(id string) (*Job, bool) {
 	j.mu.Lock()
 	if !j.state.Terminal() {
 		j.cancelled = true
+		if j.cancelAt.IsZero() {
+			j.cancelAt = time.Now()
+		}
 	}
 	j.mu.Unlock()
 	j.cancel()

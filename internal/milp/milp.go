@@ -304,6 +304,14 @@ type Result struct {
 	Workers int
 	// Coefficients is the DILP size that was handed to the LP engine.
 	Coefficients int
+	// LPIters is the total number of simplex iterations across the root
+	// relaxation and every node LP solve. Like Nodes it is deterministic for
+	// a fixed model and options whenever no wall-clock limit hit; it is
+	// observational and never feeds back into the search.
+	LPIters int
+	// Rounds is the number of synchronization rounds the search ran (0 when
+	// the root disposition resolved the tree).
+	Rounds int
 }
 
 // Gap returns the relative optimality gap of the incumbent versus the root

@@ -102,6 +102,7 @@ type bbResult struct {
 	complete bool      // subtree fully resolved (pruned/feasible/infeasible/branched)
 	children []*bbNode // open subproblems, in preferred exploration order
 	cand     incumbent // integer-feasible point found here (x nil if none)
+	lpIters  int       // simplex iterations spent on this node's LP solve
 	err      error
 }
 
@@ -121,6 +122,8 @@ type search struct {
 
 	inc       incumbent
 	nodes     int
+	lpIters   int // total simplex iterations, accumulated between rounds
+	rounds    int
 	workers   int
 	scratches []*bbScratch
 }
@@ -171,7 +174,9 @@ func Solve(m *Model, o *Options) (*Result, error) {
 		return nil, err
 	}
 	st.nodes = 1
-	res := &Result{Bound: rootSol.Obj, Coefficients: m.NumCoefficients(), Workers: st.workers}
+	st.lpIters = rootSol.Iters
+	res := &Result{Bound: rootSol.Obj, Coefficients: m.NumCoefficients(),
+		Workers: st.workers, LPIters: st.lpIters}
 	switch rootSol.Status {
 	case lp.StatusInfeasible:
 		if st.inc.x != nil {
@@ -199,6 +204,8 @@ func Solve(m *Model, o *Options) (*Result, error) {
 		return nil, err
 	}
 	res.Nodes = st.nodes
+	res.LPIters = st.lpIters
+	res.Rounds = st.rounds
 	switch {
 	case st.inc.x != nil && complete:
 		res.Status = StatusOptimal
@@ -241,6 +248,7 @@ func (st *search) run(rootSol *lp.Solution) (bool, error) {
 		}
 		results := make([]bbResult, k)
 		st.processRound(frontier[:k], results)
+		st.rounds++
 
 		// Merge in frontier order: deterministic regardless of which worker
 		// produced which result. Children are queued ahead of the untouched
@@ -249,6 +257,7 @@ func (st *search) run(rootSol *lp.Solution) (bool, error) {
 		cut := false
 		for i := range results {
 			r := &results[i]
+			st.lpIters += r.lpIters // zero for slots a limit left unwritten
 			if r.err != nil {
 				return false, r.err
 			}
@@ -346,7 +355,9 @@ func (st *search) process(n *bbNode, snap incumbent, sc *bbScratch) bbResult {
 	if err != nil {
 		return bbResult{done: true, err: err}
 	}
-	return st.dispose(n, sol, snap, sc.lo, sc.hi)
+	out := st.dispose(n, sol, snap, sc.lo, sc.hi)
+	out.lpIters = sol.Iters
+	return out
 }
 
 // dispose classifies a solved node: prune, record an integer-feasible

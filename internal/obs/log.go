@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Logger is a line-oriented structured logger with two formats: "text"
+// (human-readable key=value) and "json" (one object per line, stable keys).
+// It exists so spqd's access log and the slow-query log share one sink and
+// one format switch without pulling in a logging dependency.
+type Logger struct {
+	mu   sync.Mutex
+	w    io.Writer
+	json bool
+	now  func() time.Time // test seam
+}
+
+// NewLogger returns a logger writing to w. format is "text" or "json".
+func NewLogger(w io.Writer, format string) (*Logger, error) {
+	switch format {
+	case "", "text":
+		return &Logger{w: w, now: time.Now}, nil
+	case "json":
+		return &Logger{w: w, json: true, now: time.Now}, nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+}
+
+// JSON reports whether the logger emits JSON lines.
+func (l *Logger) JSON() bool { return l != nil && l.json }
+
+// Event writes one log line. fields is a flat map; keys "ts" and "event"
+// are reserved. Multi-line string values (a rendered span tree, say) are
+// emitted verbatim in text mode, indented under the event line.
+func (l *Logger) Event(event string, fields map[string]any) {
+	if l == nil {
+		return
+	}
+	ts := l.now().UTC()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.json {
+		obj := make(map[string]any, len(fields)+2)
+		obj["ts"] = ts.Format(time.RFC3339Nano)
+		obj["event"] = event
+		for k, v := range fields {
+			obj[k] = v
+		}
+		b, err := json.Marshal(obj)
+		if err != nil {
+			b = []byte(fmt.Sprintf(`{"ts":%q,"event":%q,"error":"marshal failed"}`,
+				ts.Format(time.RFC3339Nano), event))
+		}
+		l.w.Write(append(b, '\n'))
+		return
+	}
+	var sb strings.Builder
+	sb.WriteString(ts.Format("2006-01-02T15:04:05.000Z"))
+	sb.WriteString(" event=")
+	sb.WriteString(event)
+	keys := make([]string, 0, len(fields))
+	var blocks []string
+	for k := range fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v := fmt.Sprint(fields[k])
+		if strings.Contains(v, "\n") {
+			blocks = append(blocks, v)
+			continue
+		}
+		sb.WriteByte(' ')
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		if strings.ContainsAny(v, " \t\"") {
+			sb.WriteString(fmt.Sprintf("%q", v))
+		} else {
+			sb.WriteString(v)
+		}
+	}
+	sb.WriteByte('\n')
+	for _, blk := range blocks {
+		for _, line := range strings.Split(strings.TrimRight(blk, "\n"), "\n") {
+			sb.WriteString("    ")
+			sb.WriteString(line)
+			sb.WriteByte('\n')
+		}
+	}
+	io.WriteString(l.w, sb.String())
+}

@@ -1,0 +1,308 @@
+// Package obs is the engine's dependency-free observability layer:
+// request-scoped span traces (this file), a named metrics registry with
+// Prometheus text exposition (metrics.go), and a small structured logger
+// (log.go). Everything here is strictly observational — nothing in this
+// package may influence evaluation results, which is why no identifier or
+// timestamp minted here ever participates in cache keys or solver state.
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// maxSpanChildren bounds the fan-out recorded under a single span so a
+// pathological query (thousands of CSA iterations, say) cannot grow a trace
+// without bound. Excess children are counted, not stored.
+const maxSpanChildren = 512
+
+// Trace is one request-scoped span tree. A trace is created at admission
+// (or adopted from an upstream coordinator via its wire parent), carried
+// through the evaluation by context, and rendered on demand — including
+// mid-flight, so the trace endpoint works on running jobs.
+type Trace struct {
+	id   string
+	mu   sync.Mutex
+	root *Span
+
+	// onEnd, when set, observes every finished span. The engine uses it to
+	// feed phase-latency histograms from the same events that build the tree.
+	onEnd func(name string, d time.Duration)
+}
+
+// Span is one timed phase within a trace. All mutation is guarded by the
+// owning trace's mutex: shard solves start sibling spans concurrently.
+type Span struct {
+	tr       *Trace
+	name     string
+	start    time.Time
+	end      time.Time
+	attrs    []Attr
+	children []*Span
+	dropped  int
+	// remote holds grafted subtrees imported from another process (a
+	// worker's rendered trace nested under this dispatch span).
+	remote []*SpanData
+}
+
+// Attr is one key/value annotation on a span. Values are strings on the
+// wire; use SetInt for numeric attributes.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// NewTraceID mints a random 16-hex-digit trace identifier.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; fall back to a
+		// fixed marker rather than plumbing an error through every caller.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NewTrace starts a trace with a fresh ID and a root span named name.
+func NewTrace(name string) *Trace {
+	return NewTraceWithID(NewTraceID(), name)
+}
+
+// NewTraceWithID starts a trace under an existing (upstream) trace ID, used
+// by workers adopting a coordinator's trace from the wire.
+func NewTraceWithID(id, name string) *Trace {
+	tr := &Trace{id: id}
+	tr.root = &Span{tr: tr, name: name, start: time.Now()}
+	return tr
+}
+
+// ID returns the trace identifier.
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Root returns the root span.
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// OnSpanEnd registers fn to be called for every span that finishes,
+// including grafted remote roots' local parent. Set it before the trace is
+// shared across goroutines.
+func (t *Trace) OnSpanEnd(fn func(name string, d time.Duration)) {
+	if t != nil {
+		t.onEnd = fn
+	}
+}
+
+// StartChild opens a child span under s. Nil receivers are inert, which
+// lets instrumentation run unconditionally on untraced paths.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tr: s.tr, name: name, start: time.Now()}
+	s.tr.mu.Lock()
+	if len(s.children) >= maxSpanChildren {
+		s.dropped++
+		s.tr.mu.Unlock()
+		// Still return a live span so attrs/End behave; it just isn't kept.
+		return c
+	}
+	s.children = append(s.children, c)
+	s.tr.mu.Unlock()
+	return c
+}
+
+// End marks the span finished. Repeated calls keep the first end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if !s.end.IsZero() {
+		s.tr.mu.Unlock()
+		return
+	}
+	s.end = time.Now()
+	d := s.end.Sub(s.start)
+	onEnd := s.tr.onEnd
+	name := s.name
+	s.tr.mu.Unlock()
+	if onEnd != nil {
+		onEnd(name, d)
+	}
+}
+
+// SetAttr annotates the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.tr.mu.Unlock()
+}
+
+// SetInt annotates the span with an integer value.
+func (s *Span) SetInt(key string, v int64) { s.SetAttr(key, formatInt(v)) }
+
+// Name returns the span's name ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// TraceID returns the owning trace's ID ("" for nil).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.tr.id
+}
+
+// AttachRemote grafts an externally rendered span tree (a worker's trace)
+// under s. The subtree is stored as-is; Data() splices it into the render.
+func (s *Span) AttachRemote(sub *SpanData) {
+	if s == nil || sub == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.remote = append(s.remote, sub)
+	s.tr.mu.Unlock()
+}
+
+// SpanData is the serialized form of a span tree: what the trace endpoint
+// returns and what travels on the v1 wire between worker and coordinator.
+// Start times are absolute unix microseconds so spans from different
+// processes line up (modulo clock skew); durations are microseconds.
+type SpanData struct {
+	TraceID     string            `json:"trace_id,omitempty"` // set on roots only
+	Name        string            `json:"name"`
+	StartUnixUS int64             `json:"start_us"`
+	DurationUS  int64             `json:"duration_us"`
+	Attrs       map[string]string `json:"attrs,omitempty"`
+	Children    []*SpanData       `json:"children,omitempty"`
+}
+
+// Data renders a snapshot of the trace. Unfinished spans report a zero
+// duration; the snapshot is safe to take while the trace is still being
+// written.
+func (t *Trace) Data() *SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	d := t.root.dataLocked()
+	d.TraceID = t.id
+	return d
+}
+
+func (s *Span) dataLocked() *SpanData {
+	d := &SpanData{
+		Name:        s.name,
+		StartUnixUS: s.start.UnixMicro(),
+	}
+	if !s.end.IsZero() {
+		d.DurationUS = s.end.Sub(s.start).Microseconds()
+	}
+	if len(s.attrs) > 0 {
+		d.Attrs = make(map[string]string, len(s.attrs)+1)
+		for _, a := range s.attrs {
+			d.Attrs[a.Key] = a.Value
+		}
+	}
+	if s.dropped > 0 {
+		if d.Attrs == nil {
+			d.Attrs = make(map[string]string, 1)
+		}
+		d.Attrs["dropped_children"] = formatInt(int64(s.dropped))
+	}
+	for _, c := range s.children {
+		d.Children = append(d.Children, c.dataLocked())
+	}
+	d.Children = append(d.Children, s.remote...)
+	return d
+}
+
+// Walk visits every span in the tree depth-first, parents before children.
+func (d *SpanData) Walk(fn func(*SpanData)) {
+	if d == nil {
+		return
+	}
+	fn(d)
+	for _, c := range d.Children {
+		c.Walk(fn)
+	}
+}
+
+// PhaseName collapses per-instance span names onto a bounded phase label
+// for metrics: "sketch/shard17" → "sketch/shard". Names without a trailing
+// index pass through unchanged.
+func PhaseName(name string) string {
+	i := len(name)
+	for i > 0 && name[i-1] >= '0' && name[i-1] <= '9' {
+		i--
+	}
+	return name[:i]
+}
+
+// Render draws the span tree as an indented text table with durations and
+// attributes, for `spq -trace-tree` and slow-query logs.
+func Render(d *SpanData) string {
+	var b strings.Builder
+	if d == nil {
+		return ""
+	}
+	if d.TraceID != "" {
+		b.WriteString("trace " + d.TraceID + "\n")
+	}
+	renderNode(&b, d, 0)
+	return b.String()
+}
+
+func renderNode(b *strings.Builder, d *SpanData, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	b.WriteString(d.Name)
+	b.WriteString("  ")
+	if d.DurationUS > 0 {
+		b.WriteString(time.Duration(d.DurationUS * int64(time.Microsecond)).Round(10 * time.Microsecond).String())
+	} else {
+		b.WriteString("(running)")
+	}
+	if d.TraceID != "" && depth > 0 {
+		b.WriteString("  [trace " + d.TraceID + "]")
+	}
+	if len(d.Attrs) > 0 {
+		keys := make([]string, 0, len(d.Attrs))
+		for k := range d.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			b.WriteString("  " + k + "=" + d.Attrs[k])
+		}
+	}
+	b.WriteByte('\n')
+	for _, c := range d.Children {
+		renderNode(b, c, depth+1)
+	}
+}
+
+func formatInt(v int64) string { return strconv.FormatInt(v, 10) }

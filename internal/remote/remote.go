@@ -46,6 +46,7 @@ import (
 
 	"spq/client"
 	"spq/internal/core"
+	"spq/internal/obs"
 	"spq/internal/translate"
 )
 
@@ -322,6 +323,15 @@ func (s *Solver) Solve(ctx context.Context, silp *translate.SILP, opts *core.Opt
 
 // solveOn runs one sub-solve on one worker.
 func (s *Solver) solveOn(ctx context.Context, w *worker, silp *translate.SILP, opts *core.Options, spec *client.SolveSpec) (*core.Solution, error) {
+	// The dispatch span carries the trace across the fleet: its trace parent
+	// travels as the X-Spq-Trace header (observational only — it is NOT part
+	// of the sub-problem key, so traced and untraced dispatches still share
+	// worker cache entries), and the worker's span tree is grafted under it
+	// on completion.
+	ds := obs.SpanFromContext(ctx).StartChild("remote/dispatch")
+	ds.SetAttr("worker", w.url)
+	defer ds.End()
+
 	// No timeout_ms: the request must be byte-stable across dispatches so
 	// repeated sub-problems hit the worker's result cache (the worker keys
 	// results by its own default timeout; forwarding the coordinator's
@@ -330,10 +340,11 @@ func (s *Solver) solveOn(ctx context.Context, w *worker, silp *translate.SILP, o
 	// orphaned by a crashed coordinator is still bounded by its own
 	// -timeout.
 	req := client.SubmitRequest{
-		Query:   silp.Query.String(),
-		Method:  s.opts.Inner,
-		Options: ToWireOptions(opts),
-		Solve:   spec,
+		Query:       silp.Query.String(),
+		Method:      s.opts.Inner,
+		Options:     ToWireOptions(opts),
+		Solve:       spec,
+		TraceParent: obs.TraceParent(ds),
 	}
 
 	job, err := w.client.Submit(ctx, req)
@@ -391,5 +402,27 @@ func (s *Solver) solveOn(ctx context.Context, w *worker, silp *translate.SILP, o
 	if err != nil {
 		return nil, fmt.Errorf("remote: worker %s: %w", w.url, err)
 	}
+	if d := spanData(final.Trace); d != nil {
+		ds.AttachRemote(d)
+	}
 	return sol, nil
+}
+
+// spanData converts a wire span tree back to the internal representation
+// (the coordinator-side twin of engine's wireTrace).
+func spanData(t *client.TraceSpan) *obs.SpanData {
+	if t == nil {
+		return nil
+	}
+	d := &obs.SpanData{
+		TraceID:     t.TraceID,
+		Name:        t.Name,
+		StartUnixUS: t.StartUnixUS,
+		DurationUS:  t.DurationUS,
+		Attrs:       t.Attrs,
+	}
+	for _, c := range t.Children {
+		d.Children = append(d.Children, spanData(c))
+	}
+	return d
 }

@@ -16,6 +16,7 @@ import (
 	"spq/internal/core"
 	"spq/internal/dist"
 	"spq/internal/engine"
+	"spq/internal/obs"
 	"spq/internal/relation"
 	"spq/internal/remote"
 	"spq/internal/rng"
@@ -135,8 +136,57 @@ func TestRemoteDeterminismMatrix(t *testing.T) {
 				if st.Fallbacks != 0 || st.Failures != 0 {
 					t.Fatalf("healthy pool reported fallbacks/failures: %+v", st)
 				}
+				assertDispatchSpansNested(t, res)
 			}
 		})
+	}
+}
+
+// assertDispatchSpansNested checks the observability contract of a dispatch:
+// every sub-solve shows up in the coordinator's trace as a remote/dispatch
+// span carrying the worker's grafted span tree — a worker "query" root that
+// adopted the coordinator's trace ID (via the X-Spq-Trace header) and ran a
+// real solve. Structure and names only; timings are wall-clock and free.
+func assertDispatchSpansNested(t *testing.T, res *engine.Result) {
+	t.Helper()
+	if res.Trace == nil {
+		t.Fatal("coordinator query returned no trace")
+	}
+	var dispatches []*obs.SpanData
+	res.Trace.Walk(func(d *obs.SpanData) {
+		if d.Name == "remote/dispatch" {
+			dispatches = append(dispatches, d)
+		}
+	})
+	if len(dispatches) != 3 {
+		t.Fatalf("trace has %d remote/dispatch spans, want 3:\n%s", len(dispatches), obs.Render(res.Trace))
+	}
+	for _, d := range dispatches {
+		if d.Attrs["worker"] == "" {
+			t.Fatalf("dispatch span has no worker attr: %v", d.Attrs)
+		}
+		var graft *obs.SpanData
+		for _, c := range d.Children {
+			if c.Name == "query" {
+				graft = c
+			}
+		}
+		if graft == nil {
+			t.Fatalf("dispatch span carries no grafted worker tree:\n%s", obs.Render(res.Trace))
+		}
+		if graft.TraceID != res.Trace.TraceID {
+			t.Fatalf("worker root trace id = %q, coordinator = %q: header propagation broken",
+				graft.TraceID, res.Trace.TraceID)
+		}
+		solves := 0
+		graft.Walk(func(s *obs.SpanData) {
+			if obs.PhaseName(s.Name) == "solve" {
+				solves++
+			}
+		})
+		if solves == 0 {
+			t.Fatalf("grafted worker tree shows no solve spans:\n%s", obs.Render(graft))
+		}
 	}
 }
 

@@ -33,6 +33,7 @@ func ToWireSolution(sol *core.Solution) *client.SolveResult {
 		MILPSolves:    sol.MILPSolves,
 		MILPNodes:     sol.MILPNodes,
 		MILPWorkers:   sol.MILPWorkers,
+		LPIters:       sol.LPIters,
 		TotalMS:       sol.TotalTime.Milliseconds(),
 	}
 	if math.IsInf(sol.EpsUpper, 1) {
@@ -47,6 +48,7 @@ func ToWireSolution(sol *core.Solution) *client.SolveResult {
 			Status:       int(it.SolverStatus),
 			Coefficients: it.Coefficients,
 			Nodes:        it.Nodes,
+			LPIters:      it.LPIters,
 			Feasible:     it.Feasible,
 			Objective:    it.Objective,
 		})
@@ -79,6 +81,7 @@ func FromWireSolution(sr *client.SolveResult, n int) (*core.Solution, error) {
 		MILPSolves:    sr.MILPSolves,
 		MILPNodes:     sr.MILPNodes,
 		MILPWorkers:   sr.MILPWorkers,
+		LPIters:       sr.LPIters,
 		TotalTime:     msToDuration(sr.TotalMS),
 	}
 	if sr.EpsUpperInf {
@@ -91,6 +94,7 @@ func FromWireSolution(sr *client.SolveResult, n int) (*core.Solution, error) {
 			SolverStatus: milp.Status(it.Status),
 			Coefficients: it.Coefficients,
 			Nodes:        it.Nodes,
+			LPIters:      it.LPIters,
 			Feasible:     it.Feasible,
 			Objective:    it.Objective,
 		})

@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"spq/internal/core"
+	"spq/internal/obs"
 	"spq/internal/par"
 	"spq/internal/relation"
 	"spq/internal/rng"
@@ -224,7 +225,9 @@ func SolveSILP(ctx context.Context, silp *translate.SILP, copts *core.Options, s
 
 	if n <= so.MaxCandidates {
 		// Small enough to solve directly.
-		sol, err := so.Solver.Solve(ctx, silp, withPhase(copts, "fallback"))
+		fctx, fsp := obs.StartSpan(ctx, "fallback")
+		sol, err := so.Solver.Solve(fctx, silp, withPhase(copts, "fallback"))
+		fsp.End()
 		stats.FellBack = true
 		stats.Candidates = n
 		return sol, stats, err
@@ -234,6 +237,7 @@ func SolveSILP(ctx context.Context, silp *translate.SILP, copts *core.Options, s
 	if err != nil {
 		return nil, nil, err
 	}
+	partSpan := obs.SpanFromContext(ctx).StartChild("partition")
 	part, err := view.Partition(relation.PartitionSpec{
 		Strategy:    so.Strategy,
 		Features:    attrs,
@@ -242,12 +246,14 @@ func SolveSILP(ctx context.Context, silp *translate.SILP, copts *core.Options, s
 		Seed:        so.Seed,
 		Shards:      so.Shards,
 	})
+	partSpan.End()
 	if err != nil {
 		return nil, nil, err
 	}
 	stats.Groups = part.NumGroups()
 	stats.SketchTuples = len(part.Medoids)
 	stats.Shards = part.NumShards()
+	partSpan.SetInt("groups", int64(stats.Groups))
 
 	// Strip the WHERE clause for sub-problems: it is already applied in view,
 	// and medoid/candidate views derive from view.
@@ -331,7 +337,9 @@ func SolveSILP(ctx context.Context, silp *translate.SILP, copts *core.Options, s
 		stats.FellBack = true
 		stats.SketchObj = 0
 		refineStart := time.Now()
-		sol, err := so.Solver.Solve(ctx, silp, withPhase(copts, "fallback"))
+		fctx, fsp := obs.StartSpan(ctx, "fallback")
+		sol, err := so.Solver.Solve(fctx, silp, withPhase(copts, "fallback"))
+		fsp.End()
 		stats.RefineTime = time.Since(refineStart)
 		stats.Candidates = n
 		return sol, stats, err
@@ -362,11 +370,15 @@ func SolveSILP(ctx context.Context, silp *translate.SILP, copts *core.Options, s
 	// REFINE: one global solve over the tuples of the selected groups.
 	candRel := view.Select(func(t int) bool { return inCandidate[t] })
 	refineStart := time.Now()
+	rctx, rsp := obs.StartSpan(ctx, "refine")
+	rsp.SetInt("candidates", int64(count))
 	refineSILP, err := translate.Build(&qNoWhere, candRel, nil)
 	if err != nil {
+		rsp.End()
 		return nil, nil, err
 	}
-	refined, err := so.Solver.Solve(ctx, refineSILP, withPhase(copts, "refine"))
+	refined, err := so.Solver.Solve(rctx, refineSILP, withPhase(copts, "refine"))
+	rsp.End()
 	stats.RefineTime = time.Since(refineStart)
 	if err != nil {
 		return nil, nil, err
@@ -423,13 +435,17 @@ func solveShard(ctx context.Context, view *relation.Relation, qNoWhere *spaql.Qu
 	}
 	opts := *baseOpts
 	opts.Seed = seed
-	sol, err := solver.Solve(ctx, sketchSILP, withPhase(&opts, fmt.Sprintf("sketch/shard%d", shard)))
+	sctx, ssp := obs.StartSpan(ctx, fmt.Sprintf("sketch/shard%d", shard))
+	sol, err := solver.Solve(sctx, sketchSILP, withPhase(&opts, fmt.Sprintf("sketch/shard%d", shard)))
 	if err != nil || !sol.Feasible {
+		ssp.SetAttr("outcome", "failed")
+		ssp.End()
 		if err != nil && !errors.Is(err, core.ErrInfeasible) {
 			return shardResult{}, err
 		}
 		return shardResult{failed: true}, nil
 	}
+	ssp.End()
 	res := shardResult{obj: sol.Objective}
 	for row, x := range sol.X {
 		if x > 0 {
