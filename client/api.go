@@ -356,6 +356,10 @@ type SolveIteration struct {
 	Coefficients int     `json:"coefficients,omitempty"`
 	Nodes        int     `json:"nodes,omitempty"`
 	LPIters      int     `json:"lp_iters,omitempty"`
+	WarmStarts   int     `json:"warm_starts,omitempty"`
+	DegenPivots  int     `json:"degen_pivots,omitempty"`
+	PresolveRows int     `json:"presolve_rows,omitempty"`
+	PresolveCols int     `json:"presolve_cols,omitempty"`
 	Feasible     bool    `json:"feasible"`
 	Objective    float64 `json:"objective"`
 }
@@ -382,6 +386,10 @@ type SolveResult struct {
 	MILPNodes     int              `json:"milp_nodes,omitempty"`
 	MILPWorkers   int              `json:"milp_workers,omitempty"`
 	LPIters       int              `json:"lp_iters,omitempty"`
+	WarmStarts    int              `json:"warm_starts,omitempty"`
+	DegenPivots   int              `json:"degen_pivots,omitempty"`
+	PresolveRows  int              `json:"presolve_rows,omitempty"`
+	PresolveCols  int              `json:"presolve_cols,omitempty"`
 	TotalMS       int64            `json:"total_ms,omitempty"`
 }
 

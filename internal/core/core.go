@@ -154,7 +154,16 @@ type Iteration struct {
 	Nodes int
 	// LPIters is the total simplex iterations of the iteration's MILP solve
 	// (root relaxation plus every node LP).
-	LPIters      int
+	LPIters int
+	// WarmStarts counts node LPs of the iteration's MILP solve that were
+	// reinstated from a parent basis instead of solved from scratch;
+	// DegenPivots counts degenerate simplex pivots across those LPs.
+	WarmStarts  int
+	DegenPivots int
+	// PresolveRows and PresolveCols count the rows and columns the MILP
+	// root presolve eliminated before the search started.
+	PresolveRows int
+	PresolveCols int
 	SolveTime    time.Duration
 	ValidateTime time.Duration
 	Feasible     bool
@@ -197,6 +206,13 @@ type Solution struct {
 	// LPIters is the total simplex iterations across every MILP solve of
 	// the evaluation (observational, like the MILP counters above).
 	LPIters int
+	// WarmStarts and DegenPivots aggregate the LP kernel's warm-start and
+	// degenerate-pivot counts across every MILP solve; PresolveRows and
+	// PresolveCols aggregate the root-presolve reductions. All observational.
+	WarmStarts   int
+	DegenPivots  int
+	PresolveRows int
+	PresolveCols int
 }
 
 // HitLimit reports whether the evaluation was cut short by a wall-clock or
@@ -245,10 +261,14 @@ type runner struct {
 
 	// MILP accounting across every solve of the evaluation (see
 	// Solution.MILPSolves); stamped onto the returned Solution by finish.
-	milpSolves  int
-	milpNodes   int
-	milpWorkers int
-	lpIters     int
+	milpSolves   int
+	milpNodes    int
+	milpWorkers  int
+	lpIters      int
+	warmStarts   int
+	degenPivots  int
+	presolveRows int
+	presolveCols int
 }
 
 func newRunner(ctx context.Context, silp *translate.SILP, o *Options) *runner {
@@ -310,6 +330,10 @@ func (r *runner) noteSolve(res *milp.Result) {
 	r.milpSolves++
 	r.milpNodes += res.Nodes
 	r.lpIters += res.LPIters
+	r.warmStarts += res.WarmStarts
+	r.degenPivots += res.DegenPivots
+	r.presolveRows += res.PresolveRows
+	r.presolveCols += res.PresolveCols
 	if res.Workers > r.milpWorkers {
 		r.milpWorkers = res.Workers
 	}
@@ -332,6 +356,10 @@ func (r *runner) solveMILP(kind string, model *milp.Model, opts *milp.Options) (
 	sp.SetInt("nodes", int64(res.Nodes))
 	sp.SetInt("rounds", int64(res.Rounds))
 	sp.SetInt("lp_iters", int64(res.LPIters))
+	sp.SetInt("warm_starts", int64(res.WarmStarts))
+	sp.SetInt("degen_pivots", int64(res.DegenPivots))
+	sp.SetInt("presolve_rows", int64(res.PresolveRows))
+	sp.SetInt("presolve_cols", int64(res.PresolveCols))
 	sp.End()
 	r.noteSolve(res)
 	return res, nil
@@ -361,5 +389,9 @@ func (r *runner) finish(sol *Solution) *Solution {
 	sol.MILPNodes = r.milpNodes
 	sol.MILPWorkers = r.milpWorkers
 	sol.LPIters = r.lpIters
+	sol.WarmStarts = r.warmStarts
+	sol.DegenPivots = r.degenPivots
+	sol.PresolveRows = r.presolveRows
+	sol.PresolveCols = r.presolveCols
 	return sol
 }

@@ -274,6 +274,10 @@ func (r *runner) csaSolve(sets []*scenario.Set, objSet *scenario.Set, x0 []float
 		(*iters)[len(*iters)-1].Coefficients = res.Coefficients
 		(*iters)[len(*iters)-1].Nodes = res.Nodes
 		(*iters)[len(*iters)-1].LPIters = res.LPIters
+		(*iters)[len(*iters)-1].WarmStarts = res.WarmStarts
+		(*iters)[len(*iters)-1].DegenPivots = res.DegenPivots
+		(*iters)[len(*iters)-1].PresolveRows = res.PresolveRows
+		(*iters)[len(*iters)-1].PresolveCols = res.PresolveCols
 		(*iters)[len(*iters)-1].SolveTime = time.Since(solveStart)
 		if res.X == nil {
 			// The conservative problem is unsolvable at these α's: back off

@@ -52,6 +52,10 @@ func NaiveCtx(ctx context.Context, silp *translate.SILP, o *Options) (*Solution,
 			Coefficients: res.Coefficients,
 			Nodes:        res.Nodes,
 			LPIters:      res.LPIters,
+			WarmStarts:   res.WarmStarts,
+			DegenPivots:  res.DegenPivots,
+			PresolveRows: res.PresolveRows,
+			PresolveCols: res.PresolveCols,
 			SolveTime:    time.Since(solveStart),
 		}
 		if res.X != nil {

@@ -383,6 +383,14 @@ type Stats struct {
 	MilpSolves     int64 `json:"milp_solves"`
 	MilpNodes      int64 `json:"milp_nodes"`
 	MilpWorkersMax int64 `json:"milp_workers_max"`
+	// LP kernel counters: total simplex iterations, node LPs warm-started
+	// from a parent basis, degenerate pivots, and the rows/columns removed
+	// by MILP root presolve, summed over the same finished queries.
+	LpIters       int64 `json:"lp_iters"`
+	LpWarmStarts  int64 `json:"lp_warm_starts"`
+	LpDegenPivots int64 `json:"lp_degen_pivots"`
+	PresolveRows  int64 `json:"presolve_rows"`
+	PresolveCols  int64 `json:"presolve_cols"`
 	// Result-cache replication counters, present only when the engine runs
 	// a Replicating store (see internal/resultcache): entries pushed to
 	// peers, accepted from peers, failed deliveries, and local pushes
@@ -896,6 +904,10 @@ func (e *Engine) query(ctx context.Context, req Request) (*Result, error) {
 	e.m.milpSolves.Add(int64(sol.MILPSolves))
 	e.m.milpNodes.Add(int64(sol.MILPNodes))
 	e.m.lpIters.Add(int64(sol.LPIters))
+	e.m.lpWarmStarts.Add(int64(sol.WarmStarts))
+	e.m.lpDegenPivots.Add(int64(sol.DegenPivots))
+	e.m.presolveRows.Add(int64(sol.PresolveRows))
+	e.m.presolveCols.Add(int64(sol.PresolveCols))
 	e.m.milpWorkersMax.SetMax(int64(sol.MILPWorkers))
 
 	// The solution's X indexes p.silp.Rel for every method: the sketch
@@ -944,6 +956,11 @@ func (e *Engine) Stats() Stats {
 		MilpSolves:        e.m.milpSolves.Value(),
 		MilpNodes:         e.m.milpNodes.Value(),
 		MilpWorkersMax:    e.m.milpWorkersMax.Value(),
+		LpIters:           e.m.lpIters.Value(),
+		LpWarmStarts:      e.m.lpWarmStarts.Value(),
+		LpDegenPivots:     e.m.lpDegenPivots.Value(),
+		PresolveRows:      e.m.presolveRows.Value(),
+		PresolveCols:      e.m.presolveCols.Value(),
 		Active:            e.m.active.Value(),
 		Queued:            waiting,
 		SolveTimeMS:       int64(e.m.solveLatency.Sum() * 1000),

@@ -29,6 +29,10 @@ type engineMetrics struct {
 	milpSolves     *obs.Counter
 	milpNodes      *obs.Counter
 	lpIters        *obs.Counter
+	lpWarmStarts   *obs.Counter
+	lpDegenPivots  *obs.Counter
+	presolveRows   *obs.Counter
+	presolveCols   *obs.Counter
 	milpWorkersMax *obs.Gauge
 
 	// active counts queries holding a solve slot; queued is the engine's
@@ -70,6 +74,10 @@ func newEngineMetrics(e *Engine) *engineMetrics {
 	m.milpSolves = r.NewCounter("spq_milp_solves_total", "Branch-and-bound MILP solves run by finished queries.")
 	m.milpNodes = r.NewCounter("spq_milp_nodes_total", "Branch-and-bound nodes explored by finished queries.")
 	m.lpIters = r.NewCounter("spq_lp_iterations_total", "Simplex iterations run by finished queries (root and node LP solves).")
+	m.lpWarmStarts = r.NewCounter("spq_lp_warm_starts_total", "Node LPs reinstated from a parent basis by dual simplex instead of solved cold.")
+	m.lpDegenPivots = r.NewCounter("spq_lp_degen_pivots_total", "Degenerate simplex pivots (zero step length) across all LP solves.")
+	m.presolveRows = r.NewCounter("spq_presolve_rows_total", "Constraint rows eliminated by MILP root presolve.")
+	m.presolveCols = r.NewCounter("spq_presolve_cols_total", "Variable columns eliminated by MILP root presolve.")
 	m.milpWorkersMax = r.NewGauge("spq_milp_workers_max", "Largest per-solve branch-and-bound worker bound observed.")
 	m.active = r.NewGauge("spq_active_queries", "Queries currently holding a solve slot.")
 	m.queued = r.NewGauge("spq_admission_commitment", "Total admission commitment: queries waiting for a slot plus queries solving.")

@@ -189,6 +189,25 @@ type Options struct {
 	// StatusCancelled (MaxIters remains the deterministic iteration budget;
 	// Deadline is the responsive wall-clock one).
 	Deadline time.Time
+	// Basis, when non-nil, warm-starts the solve from a previous optimal
+	// basis (typically the parent node's in branch-and-bound). The solver
+	// reinstates primal feasibility under the current bounds with a bounded
+	// dual simplex instead of running phase 1 from the logical basis; if the
+	// snapshot cannot be installed (shape mismatch, singular basis) or the
+	// dual simplex stalls, the solve silently falls back to the cold path.
+	// Basis is part of the determinism domain: a solve is a pure function of
+	// (Problem, bounds, Options) including Basis, so callers that cache or
+	// compare results must treat it like any other Options field.
+	Basis *Basis
+	// WantBasis asks the solver to attach a basis snapshot of the optimal
+	// basis to the Solution (nil unless Status is StatusOptimal).
+	WantBasis bool
+	// Scratch, when non-nil, lends the solver reusable working memory
+	// (basis-inverse rows, eta file, pricing vectors) so repeated solves —
+	// branch-and-bound explores thousands of near-identical LPs — stop
+	// allocating per solve. A Scratch must not be shared by concurrent
+	// solves; the MILP layer keeps one per worker.
+	Scratch *Scratch
 }
 
 func (o *Options) withDefaults(m, n int) Options {
@@ -218,6 +237,16 @@ type Solution struct {
 	Obj float64
 	// Iters is the number of simplex iterations performed.
 	Iters int
+	// DegenPivots is the number of degenerate (zero-step) pivots performed —
+	// the kernel's stalling indicator.
+	DegenPivots int
+	// WarmStarted reports that the solve was seeded from Options.Basis and
+	// the seed was accepted (dual-simplex reinstatement ran instead of
+	// phase 1 from the logical basis).
+	WarmStarted bool
+	// Basis is a snapshot of the optimal basis, present only when
+	// Options.WantBasis was set and Status is StatusOptimal.
+	Basis *Basis
 }
 
 // Solve optimizes the problem with its stored bounds.

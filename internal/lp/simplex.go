@@ -20,6 +20,72 @@ const (
 	refactorEvery = 100  // pivots between basis refactorizations
 )
 
+// Scratch is reusable solver working memory: basis-inverse rows, the eta
+// file, pricing and ratio-test vectors, and the refactorization workspace.
+// A zero Scratch is ready to use; buffers grow to the largest problem seen
+// and are retained across solves. Not safe for concurrent solves — callers
+// that solve in parallel (the MILP branch-and-bound) keep one per worker.
+type Scratch struct {
+	lo, hi     []float64
+	status     []byte
+	basis, pos []int
+	binvBack   []float64
+	binvRows   [][]float64
+	refacBack  []float64
+	refacRows  [][]float64
+	xb         []float64
+	cost       []float64
+	y, w, v    []float64
+	rho, cb    []float64
+	etaR       []int
+	etaOff     []int
+	etaWr      []float64
+	etaVal     []float64
+	etaIdx     []int32
+}
+
+func growFloats(buf *[]float64, n int) []float64 {
+	if cap(*buf) >= n {
+		*buf = (*buf)[:n]
+	} else {
+		*buf = make([]float64, n)
+	}
+	return *buf
+}
+
+func growBytes(buf *[]byte, n int) []byte {
+	if cap(*buf) >= n {
+		*buf = (*buf)[:n]
+	} else {
+		*buf = make([]byte, n)
+	}
+	return *buf
+}
+
+func growInts(buf *[]int, n int) []int {
+	if cap(*buf) >= n {
+		*buf = (*buf)[:n]
+	} else {
+		*buf = make([]int, n)
+	}
+	return *buf
+}
+
+func growRows(buf *[][]float64, n int) [][]float64 {
+	if cap(*buf) >= n {
+		*buf = (*buf)[:n]
+	} else {
+		*buf = make([][]float64, n)
+	}
+	return *buf
+}
+
+// simplex is the working state of one solve. The basis inverse is kept in
+// product form: a dense refactorized inverse binv (of the basis at the last
+// refactorization) composed with a file of sparse eta transforms, one per
+// pivot since. ftran/btran apply the dense part and then stream the etas, so
+// a pivot costs O(nnz(eta)) instead of the O(m²) dense rank-1 update, with
+// the periodic dense refactorization as the conditioning fallback.
 type simplex struct {
 	p    *Problem
 	opts Options
@@ -32,43 +98,80 @@ type simplex struct {
 
 	basis []int       // basis[k] = variable basic in position k
 	pos   []int       // pos[j] = basis position of var j, or -1
-	binv  [][]float64 // dense basis inverse, m×m
+	binv  [][]float64 // dense refactorized basis inverse, m×m
 	xb    []float64   // values of basic variables
 
 	cost []float64 // current phase cost for all vars
 	y    []float64 // duals c_Bᵀ·B⁻¹
 	w    []float64 // ftran scratch
 	v    []float64 // rhs scratch
+	rho  []float64 // dual-simplex pivot row e_rᵀ·B⁻¹
+	cb   []float64 // btran input scratch
+
+	// Eta file: pivot k replaced basis position etaR[k] with a column whose
+	// ftran image was w; the eta stores w's pivot entry (etaWr) and its
+	// off-pivot nonzeros (etaIdx/etaVal in [etaOff[k], etaOff[k+1])).
+	etaR   []int
+	etaOff []int
+	etaWr  []float64
+	etaVal []float64
+	etaIdx []int32
+
+	refacBack []float64
+	refacRows [][]float64
 
 	iters       int
-	sincePivot  int // pivots since last refactorization
+	sincePivot  int // pivots since last refactorization (= live eta count)
 	degenerate  int // consecutive degenerate iterations (for Bland's rule)
+	degenTotal  int // total degenerate pivots this solve
 	blandActive bool
 
-	hasDL bool // opts.Deadline is set
+	hasDL bool     // opts.Deadline is set
+	sc    *Scratch // caller-owned scratch to hand grown eta buffers back to
 }
 
 func newSimplex(p *Problem, varLo, varHi []float64, o *Options) *simplex {
 	n, m := p.nvars, len(p.rowLo)
 	opts := o.withDefaults(m, n)
+	sc := opts.Scratch
+	if sc == nil {
+		sc = &Scratch{}
+	}
 	s := &simplex{
 		p:      p,
 		opts:   opts,
 		n:      n,
 		m:      m,
 		total:  n + m,
-		lo:     make([]float64, n+m),
-		hi:     make([]float64, n+m),
-		status: make([]byte, n+m),
-		basis:  make([]int, m),
-		pos:    make([]int, n+m),
-		binv:   make([][]float64, m),
-		xb:     make([]float64, m),
-		cost:   make([]float64, n+m),
-		y:      make([]float64, m),
-		w:      make([]float64, m),
-		v:      make([]float64, m),
+		lo:     growFloats(&sc.lo, n+m),
+		hi:     growFloats(&sc.hi, n+m),
+		status: growBytes(&sc.status, n+m),
+		basis:  growInts(&sc.basis, m),
+		pos:    growInts(&sc.pos, n+m),
+		xb:     growFloats(&sc.xb, m),
+		cost:   growFloats(&sc.cost, n+m),
+		y:      growFloats(&sc.y, m),
+		w:      growFloats(&sc.w, m),
+		v:      growFloats(&sc.v, m),
+		rho:    growFloats(&sc.rho, m),
+		cb:     growFloats(&sc.cb, m),
+		sc:     opts.Scratch,
 	}
+	back := growFloats(&sc.binvBack, m*m)
+	s.binv = growRows(&sc.binvRows, m)
+	for i := 0; i < m; i++ {
+		s.binv[i] = back[i*m : (i+1)*m]
+	}
+	s.refacBack = growFloats(&sc.refacBack, 2*m*m)
+	s.refacRows = growRows(&sc.refacRows, m)
+	for i := 0; i < m; i++ {
+		s.refacRows[i] = s.refacBack[2*m*i : 2*m*(i+1)]
+	}
+	s.etaR = sc.etaR[:0]
+	s.etaWr = sc.etaWr[:0]
+	s.etaVal = sc.etaVal[:0]
+	s.etaIdx = sc.etaIdx[:0]
+	s.etaOff = append(sc.etaOff[:0], 0)
 	s.hasDL = !opts.Deadline.IsZero()
 	copy(s.lo, varLo)
 	copy(s.hi, varHi)
@@ -76,19 +179,56 @@ func newSimplex(p *Problem, varLo, varHi []float64, o *Options) *simplex {
 		s.lo[n+i] = p.rowLo[i]
 		s.hi[n+i] = p.rowHi[i]
 	}
+	// Basis installation is deferred to solve(): the cold path builds the
+	// logical basis, the warm path goes straight to loadBasis — skipping a
+	// redundant basis-inverse init and computeXB pass per warm solve.
+	return s
+}
+
+// releaseScratch hands append-grown eta buffers back to the caller's Scratch
+// so the capacity survives into the next solve. The fixed-size buffers were
+// registered at newSimplex time.
+func (s *simplex) releaseScratch() {
+	if s.sc == nil {
+		return
+	}
+	s.sc.etaR = s.etaR
+	s.sc.etaWr = s.etaWr
+	s.sc.etaVal = s.etaVal
+	s.sc.etaIdx = s.etaIdx
+	s.sc.etaOff = s.etaOff
+}
+
+// resetToLogicalBasis installs the all-logical starting basis: B = −I, so
+// the inverse is −I and the eta file is empty.
+func (s *simplex) resetToLogicalBasis() {
 	for j := 0; j < s.total; j++ {
 		s.pos[j] = -1
 		s.status[j] = s.initialStatus(j)
 	}
-	for i := 0; i < m; i++ {
-		s.basis[i] = n + i
-		s.pos[n+i] = i
-		s.status[n+i] = statusBasic
-		s.binv[i] = make([]float64, m)
-		s.binv[i][i] = -1 // logical columns have coefficient -1
+	for i := 0; i < s.m; i++ {
+		s.basis[i] = s.n + i
+		s.pos[s.n+i] = i
+		s.status[s.n+i] = statusBasic
+		row := s.binv[i]
+		for t := range row {
+			row[t] = 0
+		}
+		row[i] = -1 // logical columns have coefficient -1
 	}
+	s.clearEtas()
+	s.sincePivot = 0
+	s.degenerate = 0
+	s.blandActive = false
 	s.computeXB()
-	return s
+}
+
+func (s *simplex) clearEtas() {
+	s.etaR = s.etaR[:0]
+	s.etaWr = s.etaWr[:0]
+	s.etaVal = s.etaVal[:0]
+	s.etaIdx = s.etaIdx[:0]
+	s.etaOff = s.etaOff[:1] // keep the leading 0
 }
 
 func (s *simplex) initialStatus(j int) byte {
@@ -126,6 +266,70 @@ func (s *simplex) column(j int, fn func(row int, coef float64)) {
 	fn(j-s.n, -1)
 }
 
+// appendEta records the pivot at basis position r whose entering column had
+// ftran image s.w: B_new = B_old·E where E is the identity with column r
+// replaced by w. Only w's nonzero off-pivot entries are stored.
+func (s *simplex) appendEta(r int) {
+	s.etaR = append(s.etaR, r)
+	s.etaWr = append(s.etaWr, s.w[r])
+	for i := 0; i < s.m; i++ {
+		if i == r || s.w[i] == 0 {
+			continue
+		}
+		s.etaIdx = append(s.etaIdx, int32(i))
+		s.etaVal = append(s.etaVal, s.w[i])
+	}
+	s.etaOff = append(s.etaOff, len(s.etaIdx))
+	s.sincePivot++
+}
+
+// applyEtasFtran applies the eta inverses oldest→newest to v in place:
+// v ← E_k⁻¹···E_1⁻¹·v, completing B⁻¹ = (etas)∘binv.
+func (s *simplex) applyEtasFtran(v []float64) {
+	for k := 0; k < len(s.etaR); k++ {
+		r := s.etaR[k]
+		zr := v[r] / s.etaWr[k]
+		if zr != 0 {
+			for t := s.etaOff[k]; t < s.etaOff[k+1]; t++ {
+				v[s.etaIdx[t]] -= s.etaVal[t] * zr
+			}
+		}
+		v[r] = zr
+	}
+}
+
+// applyEtasBtran applies the transposed eta inverses newest→oldest to v in
+// place: vᵀ ← vᵀE_k⁻¹···, the row-vector counterpart of applyEtasFtran.
+func (s *simplex) applyEtasBtran(v []float64) {
+	for k := len(s.etaR) - 1; k >= 0; k-- {
+		r := s.etaR[k]
+		acc := v[r]
+		for t := s.etaOff[k]; t < s.etaOff[k+1]; t++ {
+			acc -= s.etaVal[t] * v[s.etaIdx[t]]
+		}
+		v[r] = acc / s.etaWr[k]
+	}
+}
+
+// denseBtran computes out = vᵀ·binv for the refactorized dense part,
+// skipping zero entries of v (v is typically sparse: phase-1 costs touch
+// only infeasible rows, the dual pivot row is a transformed unit vector).
+func (s *simplex) denseBtran(v, out []float64) {
+	for i := range out {
+		out[i] = 0
+	}
+	for k := 0; k < s.m; k++ {
+		c := v[k]
+		if c == 0 {
+			continue
+		}
+		row := s.binv[k]
+		for i := 0; i < s.m; i++ {
+			out[i] += c * row[i]
+		}
+	}
+}
+
 // computeXB recomputes basic variable values from scratch: x_B = −B⁻¹·N x_N.
 func (s *simplex) computeXB() {
 	for i := range s.v {
@@ -149,11 +353,16 @@ func (s *simplex) computeXB() {
 		for i := 0; i < s.m; i++ {
 			sum += row[i] * s.v[i]
 		}
-		s.xb[k] = -sum
+		s.xb[k] = sum
+	}
+	s.applyEtasFtran(s.xb)
+	for k := range s.xb {
+		s.xb[k] = -s.xb[k]
 	}
 }
 
-// ftran computes w = B⁻¹·A_j for variable j.
+// ftran computes w = B⁻¹·A_j for variable j: sparse column against the dense
+// refactorized inverse, then the eta file.
 func (s *simplex) ftran(j int) {
 	for k := range s.w {
 		s.w[k] = 0
@@ -163,23 +372,27 @@ func (s *simplex) ftran(j int) {
 			s.w[k] += coef * s.binv[k][row]
 		}
 	})
+	s.applyEtasFtran(s.w)
 }
 
-// btran computes duals y = c_Bᵀ·B⁻¹ for the current phase costs.
+// btran computes duals y = c_Bᵀ·B⁻¹ for the current phase costs: eta file
+// first (newest→oldest), then the dense part.
 func (s *simplex) btran() {
-	for i := range s.y {
-		s.y[i] = 0
-	}
 	for k := 0; k < s.m; k++ {
-		cb := s.cost[s.basis[k]]
-		if cb == 0 {
-			continue
-		}
-		row := s.binv[k]
-		for i := 0; i < s.m; i++ {
-			s.y[i] += cb * row[i]
-		}
+		s.cb[k] = s.cost[s.basis[k]]
 	}
+	s.applyEtasBtran(s.cb)
+	s.denseBtran(s.cb, s.y)
+}
+
+// btranRow computes rho = e_rᵀ·B⁻¹, the dual-simplex pivot row.
+func (s *simplex) btranRow(r int) {
+	for k := range s.cb {
+		s.cb[k] = 0
+	}
+	s.cb[r] = 1
+	s.applyEtasBtran(s.cb)
+	s.denseBtran(s.cb, s.rho)
 }
 
 // reducedCost returns d_j = c_j − yᵀA_j for nonbasic j.
@@ -194,15 +407,31 @@ func (s *simplex) reducedCost(j int) float64 {
 	return d
 }
 
-// refactorize rebuilds B⁻¹ from the basis columns by Gauss-Jordan
-// elimination with partial pivoting.
+// rowCoef returns rhoᵀ·A_j, the pivot-row coefficient of variable j.
+func (s *simplex) rowCoef(j int) float64 {
+	if j >= s.n {
+		return -s.rho[j-s.n]
+	}
+	a := 0.0
+	for _, e := range s.p.cols[j] {
+		a += s.rho[e.row] * e.coef
+	}
+	return a
+}
+
+// refactorize rebuilds the dense basis inverse from the basis columns by
+// Gauss-Jordan elimination with partial pivoting and empties the eta file.
+// On failure (singular basis) the current inverse and eta file are left
+// untouched.
 func (s *simplex) refactorize() error {
 	m := s.m
-	// Build dense B (column k = column of basis[k]) augmented with identity.
-	b := make([][]float64, m)
+	b := s.refacRows
 	for i := 0; i < m; i++ {
-		b[i] = make([]float64, 2*m)
-		b[i][m+i] = 1
+		row := b[i]
+		for t := range row {
+			row[t] = 0
+		}
+		row[m+i] = 1
 	}
 	for k := 0; k < m; k++ {
 		s.column(s.basis[k], func(row int, coef float64) {
@@ -240,34 +469,10 @@ func (s *simplex) refactorize() error {
 	for i := 0; i < m; i++ {
 		copy(s.binv[i], b[i][m:])
 	}
+	s.clearEtas()
 	s.sincePivot = 0
 	s.computeXB()
 	return nil
-}
-
-// updateBasisInverse applies the rank-1 eta update after variable enters at
-// basis position r with ftran vector w (which must be current).
-func (s *simplex) updateBasisInverse(r int) {
-	wr := s.w[r]
-	pivRow := s.binv[r]
-	inv := 1 / wr
-	for i := 0; i < s.m; i++ {
-		pivRow[i] *= inv
-	}
-	for k := 0; k < s.m; k++ {
-		if k == r {
-			continue
-		}
-		f := s.w[k]
-		if f == 0 {
-			continue
-		}
-		row := s.binv[k]
-		for i := 0; i < s.m; i++ {
-			row[i] -= f * pivRow[i]
-		}
-	}
-	s.sincePivot++
 }
 
 // interrupted reports whether the solve should stop with StatusCancelled.
@@ -317,11 +522,38 @@ func (s *simplex) totalInfeasibility() float64 {
 	return sum
 }
 
-// solve runs phase 1 then phase 2 and extracts the solution.
+// solve reaches a feasible basis — by dual-simplex reinstatement of a
+// warm-start basis when Options.Basis is usable, by phase 1 otherwise —
+// then runs phase 2 and extracts the solution.
 func (s *simplex) solve() (*Solution, error) {
-	st, err := s.phase1()
-	if err != nil {
-		return nil, err
+	st := StatusOptimal
+	warmed := false
+	if s.opts.Basis == nil {
+		s.resetToLogicalBasis()
+	} else {
+		if s.loadBasis(s.opts.Basis) {
+			dst, fallback := s.dualReinstate()
+			if fallback {
+				// Dual reinstatement could not finish (stall, or no entering
+				// candidate — which may mean infeasibility, but tolerances
+				// make that call unsafe here); restart cold and let phase 1
+				// decide.
+				s.resetToLogicalBasis()
+			} else {
+				warmed = true
+				st = dst
+			}
+		} else {
+			// loadBasis leaves the solver in an undefined state on failure.
+			s.resetToLogicalBasis()
+		}
+	}
+	var err error
+	if !warmed {
+		st, err = s.phase1()
+		if err != nil {
+			return nil, err
+		}
 	}
 	if st == StatusOptimal {
 		st, err = s.phase2()
@@ -329,10 +561,20 @@ func (s *simplex) solve() (*Solution, error) {
 			return nil, err
 		}
 	}
-	sol := &Solution{Status: st, X: s.extractX(), Iters: s.iters}
+	sol := &Solution{
+		Status:      st,
+		X:           s.extractX(),
+		Iters:       s.iters,
+		DegenPivots: s.degenTotal,
+		WarmStarted: warmed,
+	}
 	for j := 0; j < s.n; j++ {
 		sol.Obj += s.p.obj[j] * sol.X[j]
 	}
+	if s.opts.WantBasis && st == StatusOptimal {
+		sol.Basis = s.snapshotBasis()
+	}
+	s.releaseScratch()
 	return sol, nil
 }
 
@@ -346,6 +588,167 @@ func (s *simplex) extractX() []float64 {
 		}
 	}
 	return x
+}
+
+// dualReinstate restores primal feasibility from a warm-started basis with a
+// bounded-variable dual simplex: the basis is primal-infeasible only in the
+// few rows the changed bounds touched, and each dual pivot drives one
+// violated basic to its bound while preserving dual feasibility (the parent
+// optimum's reduced-cost signs). When no admissible entering column exists
+// the violated row is an infeasibility certificate — every nonbasic sits at
+// the bound that already maximizes (resp. minimizes) the row value, so no
+// feasible point exists — and the violation is large enough to trust it,
+// StatusInfeasible is returned directly (this is the common fate of
+// branch-and-bound children and skipping the phase-1 re-proof is a large
+// win). It returns fallback=true when it cannot decide — a certificate too
+// close to tolerance, a numerically unusable pivot, or a degeneracy stall —
+// in which case the caller must reset the basis and run phase 1.
+func (s *simplex) dualReinstate() (st Status, fallback bool) {
+	for j := 0; j < s.n; j++ {
+		s.cost[j] = s.p.obj[j]
+	}
+	for j := s.n; j < s.total; j++ {
+		s.cost[j] = 0
+	}
+	stall := 0
+	for {
+		if s.iters >= s.opts.MaxIters {
+			return StatusIterLimit, false
+		}
+		if s.interrupted() {
+			return StatusCancelled, false
+		}
+		// Leaving row: the largest bound violation.
+		r, below, viol := -1, false, s.opts.FeasTol
+		for k := 0; k < s.m; k++ {
+			j := s.basis[k]
+			if d := s.lo[j] - s.xb[k]; d > viol {
+				r, below, viol = k, true, d
+			}
+			if d := s.xb[k] - s.hi[j]; d > viol {
+				r, below, viol = k, false, d
+			}
+		}
+		if r < 0 {
+			return StatusOptimal, false // primal feasible: hand over to phase 2
+		}
+		s.btran()
+		s.btranRow(r)
+		enter := s.dualRatioTest(below)
+		if enter < 0 {
+			// No admissible entering column. With the violation comfortably
+			// above tolerance this is a proof of infeasibility (see the
+			// function comment); a marginal violation could be rounding, so
+			// hand those to phase 1.
+			if viol > 100*s.opts.FeasTol {
+				return StatusInfeasible, false
+			}
+			return 0, true
+		}
+		if !s.dualPivot(enter, r, below, &stall) {
+			return 0, true
+		}
+	}
+}
+
+// dualRatioTest picks the entering variable for the dual pivot on the
+// current rho row. below reports the violated side of the leaving basic
+// (true: below its lower bound, so the row value must increase). The
+// admissible candidates are the nonbasic variables whose allowed movement
+// direction reduces the violation: with ∂x_B[r]/∂x_j = −α_j, a variable at
+// its lower bound (which may only increase) qualifies when α_j < 0 for a
+// below-violation and α_j > 0 for an above-violation, and symmetrically for
+// at-upper; free variables qualify for any nonzero α_j. Among candidates the
+// classic dual ratio test picks the minimal |d_j/α_j| so every other reduced
+// cost keeps its sign after the update d_k ← d_k − t·α_k — dual feasibility
+// is preserved. Near-ties prefer the larger |α_j| (numerical stability),
+// then the lower index (determinism). Returns −1 if no candidate exists.
+func (s *simplex) dualRatioTest(below bool) int {
+	best, bestT, bestA := -1, math.Inf(1), 0.0
+	for j := 0; j < s.total; j++ {
+		switch s.status[j] {
+		case statusBasic:
+			continue
+		case statusAtLower:
+			if s.hi[j]-s.lo[j] < s.opts.FeasTol && !math.IsInf(s.hi[j], 1) {
+				continue // fixed variable
+			}
+		case statusAtUpper:
+			if s.hi[j]-s.lo[j] < s.opts.FeasTol && !math.IsInf(s.lo[j], -1) {
+				continue
+			}
+		}
+		a := s.rowCoef(j)
+		if math.Abs(a) < pivotTol {
+			continue
+		}
+		ok := false
+		switch s.status[j] {
+		case statusAtLower:
+			ok = (below && a < 0) || (!below && a > 0)
+		case statusAtUpper:
+			ok = (below && a > 0) || (!below && a < 0)
+		case statusFree:
+			ok = true
+		}
+		if !ok {
+			continue
+		}
+		t := math.Abs(s.reducedCost(j) / a)
+		aa := math.Abs(a)
+		if t < bestT-1e-10 || (t < bestT+1e-10 && aa > bestA) {
+			best, bestT, bestA = j, t, aa
+		}
+	}
+	return best
+}
+
+// dualPivot performs the basis exchange: the basic at position r leaves to
+// its violated bound, enter becomes basic. Returns false to request a
+// fallback when the pivot is numerically unusable or the solve is stalling
+// in degenerate pivots.
+func (s *simplex) dualPivot(enter, r int, below bool, stall *int) bool {
+	s.ftran(enter)
+	wr := s.w[r]
+	if math.Abs(wr) < pivotTol {
+		return false
+	}
+	leave := s.basis[r]
+	bnd := s.hi[leave]
+	leaveAt := byte(statusAtUpper)
+	if below {
+		bnd = s.lo[leave]
+		leaveAt = statusAtLower
+	}
+	delta := (s.xb[r] - bnd) / wr
+	for k := 0; k < s.m; k++ {
+		s.xb[k] -= s.w[k] * delta
+	}
+	enterVal := s.nbVal(enter) + delta
+	s.status[leave] = leaveAt
+	s.pos[leave] = -1
+	s.basis[r] = enter
+	s.pos[enter] = r
+	s.status[enter] = statusBasic
+	s.xb[r] = enterVal
+	s.appendEta(r)
+	s.iters++
+	if math.Abs(delta) < 1e-12 {
+		s.degenTotal++
+		*stall++
+		if *stall > 5*(s.m+10) {
+			return false
+		}
+	} else {
+		*stall = 0
+	}
+	if s.sincePivot >= refactorEvery {
+		if err := s.refactorize(); err != nil {
+			// Keep the eta-composed inverse; a later pivot may recondition.
+			return true
+		}
+	}
+	return true
 }
 
 // phase1 minimizes total bound infeasibility of the basic variables.
@@ -579,6 +982,7 @@ func (s *simplex) applyStep(enter, sigma int, res ratioResult) {
 	t := res.t
 	if t < 1e-12 {
 		s.degenerate++
+		s.degenTotal++
 		if s.degenerate > 5*(s.m+10) {
 			s.blandActive = true
 		}
@@ -609,12 +1013,12 @@ func (s *simplex) applyStep(enter, sigma int, res ratioResult) {
 	s.pos[enter] = res.leaveK
 	s.status[enter] = statusBasic
 	s.xb[res.leaveK] = enterVal
-	s.updateBasisInverse(res.leaveK)
+	s.appendEta(res.leaveK)
 	if s.sincePivot >= refactorEvery {
 		if err := s.refactorize(); err == nil {
 			return
 		}
 		// Singular refactorization should be impossible after a valid
-		// pivot; keep the eta-updated inverse as a fallback.
+		// pivot; keep the eta-composed inverse as a fallback.
 	}
 }

@@ -312,6 +312,18 @@ type Result struct {
 	// Rounds is the number of synchronization rounds the search ran (0 when
 	// the root disposition resolved the tree).
 	Rounds int
+	// WarmStarts counts node LP solves that were seeded from their parent's
+	// optimal basis and accepted the seed (dual-simplex reinstatement instead
+	// of phase-1 from the logical basis). Deterministic, like LPIters.
+	WarmStarts int
+	// DegenPivots counts degenerate (zero-step) simplex pivots across all LP
+	// solves — the kernel's stalling indicator.
+	DegenPivots int
+	// PresolveRows and PresolveCols count the constraint rows and variable
+	// columns the root presolve eliminated before the search began; node LPs
+	// solve the reduced problem.
+	PresolveRows int
+	PresolveCols int
 }
 
 // Gap returns the relative optimality gap of the incumbent versus the root

@@ -179,28 +179,80 @@ func TestDeepTreeNodePool(t *testing.T) {
 		idxs[j] = m.AddBinary(-1, "x") // maximize Σx …
 		ones[j] = 1
 	}
-	m.AddRow(idxs, ones, -Inf, 0.5) // … subject to Σx ≤ 0.5: integer optimum 0
+	// … subject to Σx ≤ n − 0.5: integer optimum n−1. The half-integral
+	// right-hand side keeps one binary fractional in every relaxation, and
+	// the slack per variable is too loose for root presolve's bound
+	// tightening to collapse the instance (implied x_j ≤ n − 0.5 is weaker
+	// than the binary box), so the search must dive a chain that fixes one
+	// variable per level.
+	m.AddRow(idxs, ones, -Inf, float64(n)-0.5)
 
 	res, err := Solve(m, &Options{Parallelism: 4, MaxNodes: 4*n + 10})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Every LP relaxation puts 0.5 on the first unfixed binary, so the
-	// search dives a chain that fixes one variable per level: proving the
-	// all-zero optimum requires depth ≈ n.
 	if res.Status != StatusOptimal {
 		t.Fatalf("status = %v, want optimal", res.Status)
 	}
-	if res.Obj != 0 {
-		t.Fatalf("obj = %v, want 0", res.Obj)
+	if res.Obj != -float64(n-1) {
+		t.Fatalf("obj = %v, want %v", res.Obj, -float64(n-1))
 	}
-	for j, x := range res.X {
-		if x != 0 {
-			t.Fatalf("X[%d] = %v, want 0", j, x)
-		}
+	sum := 0.0
+	for _, x := range res.X {
+		sum += x
+	}
+	if sum != float64(n-1) {
+		t.Fatalf("Σx = %v, want %d", sum, n-1)
 	}
 	if res.Nodes < n {
 		t.Fatalf("explored %d nodes; expected a chain of depth ≥ %d", res.Nodes, n)
+	}
+}
+
+// TestKernelCountersPopulated asserts the LP-kernel counters surface through
+// Result: a branching-heavy solve must warm-start most of its node LPs from
+// parent bases (this is the CI lp-kernel job's hit-rate > 0 assertion), and a
+// model with redundant rows and fixed columns must report root-presolve
+// reductions. Both are deterministic, so exact reproducibility is asserted too.
+func TestKernelCountersPopulated(t *testing.T) {
+	s := rng.NewStream(5)
+	knap := knapsackModel(s, 20, 10)
+	res, err := Solve(knap, &Options{Parallelism: 1})
+	if err != nil || res.Status != StatusOptimal {
+		t.Fatalf("knapsack: %+v err=%v", res, err)
+	}
+	if res.Nodes > 1 && res.WarmStarts <= 0 {
+		t.Fatalf("explored %d nodes but warm-started %d node LPs; want > 0", res.Nodes, res.WarmStarts)
+	}
+	if res.WarmStarts > res.LPIters+res.Nodes {
+		t.Fatalf("WarmStarts = %d implausible vs %d nodes", res.WarmStarts, res.Nodes)
+	}
+	rep, err := Solve(knap, &Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WarmStarts != res.WarmStarts || rep.DegenPivots != res.DegenPivots {
+		t.Fatalf("kernel counters not deterministic: (%d,%d) vs (%d,%d)",
+			rep.WarmStarts, rep.DegenPivots, res.WarmStarts, res.DegenPivots)
+	}
+
+	m := NewModel()
+	a := m.AddVar(2, 2, 3, false, "a") // fixed: presolve substitutes it
+	b := m.AddBinary(-1, "b")
+	m.AddRow([]int{a, b}, []float64{1, 1}, -Inf, 100) // redundant vs boxes
+	m.AddRow([]int{a, b}, []float64{1, 1}, -Inf, 2.5)
+	pres, err := Solve(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres.PresolveRows < 1 {
+		t.Fatalf("PresolveRows = %d, want ≥ 1 (redundant row)", pres.PresolveRows)
+	}
+	if pres.PresolveCols < 1 {
+		t.Fatalf("PresolveCols = %d, want ≥ 1 (fixed column)", pres.PresolveCols)
+	}
+	if pres.Status != StatusOptimal || pres.X[a] != 2 {
+		t.Fatalf("postsolve broke the fixed var: %+v", pres)
 	}
 }
 
@@ -262,15 +314,30 @@ func TestCancelDuringRootLP(t *testing.T) {
 	}
 }
 
+// reportKernelMetrics surfaces the LP-kernel work counters as per-op bench
+// metrics, so kernel wins (fewer simplex iterations, fewer nodes, warm-start
+// coverage) show up in CI bench smoke output rather than only in wall-clock.
+func reportKernelMetrics(b *testing.B, lpIters, nodes, warm int64) {
+	b.Helper()
+	n := float64(b.N)
+	b.ReportMetric(float64(lpIters)/n, "lp_iters/op")
+	b.ReportMetric(float64(nodes)/n, "nodes/op")
+	b.ReportMetric(float64(warm)/n, "warm_hits/op")
+}
+
 // BenchmarkSolveParallel measures the parallel branch-and-bound on a
 // branching-heavy knapsack at worker counts 1/2/4. On a single-core runner
-// the interesting number is parity (rounds and scratch reuse ≈ free); the
-// speedup row belongs on a multicore host (see DESIGN.md).
+// the interesting wall-clock number is parity (rounds and scratch reuse
+// ≈ free); the speedup row belongs on a multicore host (see DESIGN.md). The
+// lp_iters/nodes/warm_hits metrics are host-independent: they are
+// deterministic kernel-work counters.
 func BenchmarkSolveParallel(b *testing.B) {
 	s := rng.NewStream(5)
 	model := knapsackModel(s, 26, 13)
 	for _, w := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			var lpIters, nodes, warm int64
 			for i := 0; i < b.N; i++ {
 				res, err := Solve(model, &Options{Parallelism: w})
 				if err != nil {
@@ -279,7 +346,54 @@ func BenchmarkSolveParallel(b *testing.B) {
 				if res.Status != StatusOptimal {
 					b.Fatalf("status = %v", res.Status)
 				}
+				lpIters += int64(res.LPIters)
+				nodes += int64(res.Nodes)
+				warm += int64(res.WarmStarts)
 			}
+			reportKernelMetrics(b, lpIters, nodes, warm)
 		})
 	}
+}
+
+// propertyCorpus rebuilds the determinism corpus's model set (random IPs,
+// indicator models, knapsacks) for benchmarking. Kept in sync with
+// TestParallelDeterminismMatrix so bench rows describe the same instances the
+// correctness suite runs.
+func propertyCorpus() []*Model {
+	var models []*Model
+	s := rng.NewStream(11)
+	for trial := 0; trial < 25; trial++ {
+		models = append(models, randomIPModel(s))
+	}
+	s = rng.NewStream(8)
+	for trial := 0; trial < 15; trial++ {
+		models = append(models, randomIndicatorModel(s))
+	}
+	s = rng.NewStream(5)
+	models = append(models, knapsackModel(s, 20, 10), knapsackModel(s, 18, 9))
+	return models
+}
+
+// BenchmarkPropertyCorpus solves the whole property-test corpus once per op
+// and reports total simplex iterations, branch-and-bound nodes, and
+// warm-start hits per op. This is the acceptance benchmark for LP-kernel
+// changes: the DESIGN.md "LP kernel" table records its lp_iters/op before and
+// after. One op = 42 MILP solves.
+func BenchmarkPropertyCorpus(b *testing.B) {
+	models := propertyCorpus()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var lpIters, nodes, warm int64
+	for i := 0; i < b.N; i++ {
+		for _, m := range models {
+			res, err := Solve(m, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lpIters += int64(res.LPIters)
+			nodes += int64(res.Nodes)
+			warm += int64(res.WarmStarts)
+		}
+	}
+	reportKernelMetrics(b, lpIters, nodes, warm)
 }

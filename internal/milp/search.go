@@ -19,6 +19,18 @@ import (
 // the old dive's unbounded goroutine-stack growth (one frame per fixed
 // binary) and is what makes concurrent exploration possible at all.
 //
+// The LP kernel is engaged through three throughput levers (see DESIGN.md
+// "LP kernel"):
+//
+//   - the model is presolved once at the root (lp.PresolveProblem, integer
+//     aware) and the whole search runs in the reduced space; solutions are
+//     postsolved back before they become incumbents;
+//   - every child node carries its parent's optimal basis and each node LP
+//     is warm-started from it (dual-simplex reinstatement instead of
+//     phase 1), with per-worker lp.Scratch reused across node solves;
+//   - branch variables are chosen by pseudocosts seeded from
+//     most-fractional, learned from realized objective degradations.
+//
 // Determinism contract: results (Status, X, Obj, Bound, Nodes) are
 // bit-identical for every Options.Parallelism value. The search processes the
 // frontier in synchronization rounds of at most roundSize nodes. Within a
@@ -29,7 +41,13 @@ import (
 // are merged back in frontier order, with objective ties broken toward the
 // smaller canonical path id (down-branch = 0, up-branch = 1, compared
 // lexicographically), so simultaneous equal-objective discoveries in one
-// round resolve identically no matter which worker got there first.
+// round resolve identically no matter which worker got there first. The new
+// kernel state stays inside this contract: a node's warm-start basis is its
+// parent's optimal basis — itself a pure function of the parent's bounds,
+// seed basis and options, by induction on the tree — and the pseudocost
+// table mutates only between rounds, folded in frontier merge order, so
+// every in-round pickBranchVar reads the same table snapshot regardless of
+// which worker runs it.
 
 // roundSize is the number of frontier nodes evaluated per synchronization
 // round. It is a fixed constant, NOT derived from Options.Parallelism or
@@ -41,13 +59,25 @@ const roundSize = 64
 
 // bbNode is one open branch-and-bound subproblem: the parent's bounds
 // narrowed by [lo, hi] on branchVar. Nodes are immutable after creation and
-// shared across workers without locks.
+// shared across workers without locks (seedBasis is cleared by the
+// single-goroutine merge section once the node has been processed, never
+// during a round).
 type bbNode struct {
 	parent    *bbNode
 	branchVar int
 	lo, hi    float64
 	digit     byte // canonical path digit: 0 = down (≤ floor), 1 = up (≥ ceil)
 	depth     int32
+
+	// seedBasis is the parent's optimal basis, the node LP's warm start.
+	// It is released (nil'd) after the node is processed so deep trees do
+	// not retain one snapshot per ancestor.
+	seedBasis *lp.Basis
+	// parentObj is the parent's (reduced-space) LP objective and frac the
+	// branch variable's fractional part at the parent optimum; together
+	// they turn this node's LP bound into a pseudocost observation.
+	parentObj float64
+	frac      float64
 }
 
 // pathOf materializes the node's canonical path id (root = empty). Seeded
@@ -66,6 +96,8 @@ func pathOf(n *bbNode) []byte {
 }
 
 // incumbent is a best-known integer-feasible point; x == nil means none.
+// x lives in the full model space (postsolved), obj includes the presolve
+// objective offset.
 type incumbent struct {
 	x    []float64
 	obj  float64
@@ -89,11 +121,61 @@ func replaces(cand, cur incumbent) bool {
 	return bytes.Compare(cand.path, cur.path) < 0
 }
 
-// bbScratch is per-worker reusable state for materializing node bounds.
+// bbScratch is per-worker reusable state: bound materialization buffers plus
+// the worker's lp.Scratch, which the simplex reuses across its node solves
+// (basis-inverse backing, eta file, pricing vectors).
 type bbScratch struct {
 	lo, hi []float64
 	stamp  []int // stamp[j] == epoch ⟹ var j already overridden this node
 	epoch  int
+	lp     *lp.Scratch
+}
+
+// pseudocosts is the per-variable branching history: average objective
+// degradation per unit of fractional distance, kept separately for the down
+// and the up branch. It is read (possibly concurrently) during rounds and
+// mutated only between rounds, in frontier merge order, so its state at
+// round start is deterministic for every worker count.
+type pseudocosts struct {
+	downSum, upSum []float64
+	downCnt, upCnt []int
+	gSum           float64 // global fallback for sides with no history yet
+	gCnt           int
+}
+
+func newPseudocosts(n int) *pseudocosts {
+	return &pseudocosts{
+		downSum: make([]float64, n),
+		upSum:   make([]float64, n),
+		downCnt: make([]int, n),
+		upCnt:   make([]int, n),
+	}
+}
+
+func (pc *pseudocosts) observe(j int, up bool, unit float64) {
+	if up {
+		pc.upSum[j] += unit
+		pc.upCnt[j]++
+	} else {
+		pc.downSum[j] += unit
+		pc.downCnt[j]++
+	}
+	pc.gSum += unit
+	pc.gCnt++
+}
+
+// rate returns the estimated per-unit degradation of branching variable j in
+// the given direction, falling back to the global average when that side has
+// no observations yet.
+func (pc *pseudocosts) rate(j int, up bool) float64 {
+	if up {
+		if pc.upCnt[j] > 0 {
+			return pc.upSum[j] / float64(pc.upCnt[j])
+		}
+	} else if pc.downCnt[j] > 0 {
+		return pc.downSum[j] / float64(pc.downCnt[j])
+	}
+	return pc.gSum / float64(pc.gCnt) // gCnt > 0 whenever rate is consulted
 }
 
 // bbResult is the disposition of one processed node.
@@ -103,29 +185,43 @@ type bbResult struct {
 	children []*bbNode // open subproblems, in preferred exploration order
 	cand     incumbent // integer-feasible point found here (x nil if none)
 	lpIters  int       // simplex iterations spent on this node's LP solve
+	warm     bool      // the node LP accepted its warm-start basis
+	degen    int       // degenerate pivots in this node's LP solve
+	hasObs   bool      // a pseudocost observation was realized at this node
+	obsVar   int
+	obsUp    bool
+	obsUnit  float64
 	err      error
 }
 
-// search carries the state of one Solve invocation. The incumbent and node
-// counter are touched only between rounds (single-goroutine sections);
-// workers communicate exclusively through their bbResult slots.
+// search carries the state of one Solve invocation. The incumbent, node
+// counter and pseudocost table are touched only between rounds
+// (single-goroutine sections); workers communicate exclusively through their
+// bbResult slots.
 type search struct {
 	model  *Model
-	prob   *lp.Problem
+	pr     *lp.Presolved
+	red    *lp.Problem // presolved problem; all node LPs solve this
 	opts   Options
 	lpOpts lp.Options
 
 	deadline time.Time
 	hasDL    bool
 
-	rootLo, rootHi []float64
+	rootLo, rootHi []float64 // reduced-space presolved bounds
+	redInteger     []bool    // integrality mask in reduced space
+	impLo, impHi   []float64 // root-implied bounds per reduced integer var
+	objOffset      float64   // reduced obj + objOffset = full obj
 
-	inc       incumbent
-	nodes     int
-	lpIters   int // total simplex iterations, accumulated between rounds
-	rounds    int
-	workers   int
-	scratches []*bbScratch
+	inc        incumbent
+	nodes      int
+	lpIters    int // total simplex iterations, accumulated between rounds
+	warmStarts int
+	degen      int
+	rounds     int
+	workers    int
+	pc         *pseudocosts
+	scratches  []*bbScratch
 }
 
 // Solve runs branch and bound on the model.
@@ -136,16 +232,9 @@ func Solve(m *Model, o *Options) (*Result, error) {
 		return nil, err
 	}
 	st := &search{
-		model:  m,
-		prob:   prob,
-		opts:   opts,
-		inc:    incumbent{obj: math.Inf(1)},
-		rootLo: make([]float64, len(m.vars)),
-		rootHi: make([]float64, len(m.vars)),
-	}
-	for j, v := range m.vars {
-		st.rootLo[j] = v.lo
-		st.rootHi[j] = v.hi
+		model: m,
+		opts:  opts,
+		inc:   incumbent{obj: math.Inf(1)},
 	}
 	if opts.TimeLimit > 0 {
 		st.deadline = time.Now().Add(opts.TimeLimit)
@@ -169,14 +258,72 @@ func Solve(m *Model, o *Options) (*Result, error) {
 		}
 	}
 
-	rootSol, err := lp.SolveWithBounds(prob, st.rootLo, st.rootHi, &st.lpOpts)
+	// Root presolve: reduce once, search the reduced space. The reductions
+	// are integrality-aware, so the reduced problem is an equivalent MILP
+	// root and every node bound only tightens it further.
+	fullLo := make([]float64, len(m.vars))
+	fullHi := make([]float64, len(m.vars))
+	integer := make([]bool, len(m.vars))
+	for j, v := range m.vars {
+		fullLo[j], fullHi[j], integer[j] = v.lo, v.hi, v.integer
+	}
+	st.pr = lp.PresolveProblem(prob, fullLo, fullHi, integer)
+	res := &Result{
+		Coefficients: m.NumCoefficients(),
+		Workers:      st.workers,
+		PresolveRows: st.pr.RowsRemoved,
+		PresolveCols: st.pr.ColsRemoved,
+	}
+	if st.pr.Infeasible {
+		if st.inc.x != nil {
+			res.Status, res.X, res.Obj, res.Bound = StatusFeasible, st.inc.x, st.inc.obj, math.Inf(1)
+			return res, nil
+		}
+		res.Status, res.Bound = StatusInfeasible, math.Inf(1)
+		return res, nil
+	}
+	if st.pr.Unbounded {
+		res.Status, res.Bound = StatusUnbounded, math.Inf(-1)
+		return res, nil
+	}
+	st.red = st.pr.Reduced
+	st.objOffset = st.pr.ObjOffset
+	st.rootLo = st.pr.Lo
+	st.rootHi = st.pr.Hi
+	nred := st.red.NumVars()
+	st.redInteger = make([]bool, nred)
+	for j := 0; j < nred; j++ {
+		st.redInteger[j] = integer[st.pr.Col(j)]
+	}
+	st.pc = newPseudocosts(nred)
+	// Root-implied bounds per integer variable: every child interval is
+	// intersected with these, and an empty intersection drops the child
+	// without an LP solve. Computed once against the root activity ranges —
+	// node bounds only tighten, so the implication stays valid everywhere.
+	act := st.red.NewRowActivity(st.rootLo, st.rootHi)
+	st.impLo = make([]float64, nred)
+	st.impHi = make([]float64, nred)
+	for j := 0; j < nred; j++ {
+		if st.redInteger[j] {
+			st.impLo[j], st.impHi[j] = st.red.ImpliedVarBounds(act, j, true)
+		} else {
+			st.impLo[j], st.impHi[j] = math.Inf(-1), math.Inf(1)
+		}
+	}
+
+	rootOpts := st.lpOpts
+	rootOpts.WantBasis = true
+	rootOpts.Scratch = st.scratch(0).lp
+	rootSol, err := lp.SolveWithBounds(st.red, st.rootLo, st.rootHi, &rootOpts)
 	if err != nil {
 		return nil, err
 	}
 	st.nodes = 1
 	st.lpIters = rootSol.Iters
-	res := &Result{Bound: rootSol.Obj, Coefficients: m.NumCoefficients(),
-		Workers: st.workers, LPIters: st.lpIters}
+	st.degen = rootSol.DegenPivots
+	res.Bound = rootSol.Obj + st.objOffset
+	res.LPIters = st.lpIters
+	res.DegenPivots = st.degen
 	switch rootSol.Status {
 	case lp.StatusInfeasible:
 		if st.inc.x != nil {
@@ -206,6 +353,8 @@ func Solve(m *Model, o *Options) (*Result, error) {
 	res.Nodes = st.nodes
 	res.LPIters = st.lpIters
 	res.Rounds = st.rounds
+	res.WarmStarts = st.warmStarts
+	res.DegenPivots = st.degen
 	switch {
 	case st.inc.x != nil && complete:
 		res.Status = StatusOptimal
@@ -252,7 +401,9 @@ func (st *search) run(rootSol *lp.Solution) (bool, error) {
 
 		// Merge in frontier order: deterministic regardless of which worker
 		// produced which result. Children are queued ahead of the untouched
-		// frontier tail so exploration stays depth-first-shaped.
+		// frontier tail so exploration stays depth-first-shaped. Pseudocost
+		// observations fold in here, in the same order, so the table every
+		// worker reads next round is schedule-independent.
 		next := make([]*bbNode, 0, len(frontier)+k)
 		cut := false
 		for i := range results {
@@ -266,6 +417,16 @@ func (st *search) run(rootSol *lp.Solution) (bool, error) {
 				continue
 			}
 			st.nodes++
+			if r.warm {
+				st.warmStarts++
+			}
+			st.degen += r.degen
+			if r.hasObs {
+				st.pc.observe(r.obsVar, r.obsUp, r.obsUnit)
+			}
+			// The node is resolved; release its warm-start snapshot (its
+			// children carry their own).
+			frontier[i].seedBasis = nil
 			if !r.complete {
 				complete = false
 			}
@@ -320,25 +481,27 @@ func (st *search) processRound(round []*bbNode, results []bbResult) {
 	wg.Wait()
 }
 
-// scratch returns worker w's reusable bound buffers, allocating on first use.
+// scratch returns worker w's reusable buffers, allocating on first use.
 // Called only between rounds / before worker launch.
 func (st *search) scratch(w int) *bbScratch {
 	for len(st.scratches) <= w {
 		st.scratches = append(st.scratches, nil)
 	}
 	if st.scratches[w] == nil {
-		n := len(st.model.vars)
+		n := st.red.NumVars()
 		st.scratches[w] = &bbScratch{
 			lo:    make([]float64, n),
 			hi:    make([]float64, n),
 			stamp: make([]int, n),
+			lp:    &lp.Scratch{},
 		}
 	}
 	return st.scratches[w]
 }
 
-// process materializes a node's bounds, solves its LP relaxation, and
-// returns its disposition relative to the incumbent snapshot.
+// process materializes a node's bounds, solves its LP relaxation warm-started
+// from the parent basis, and returns its disposition relative to the
+// incumbent snapshot.
 func (st *search) process(n *bbNode, snap incumbent, sc *bbScratch) bbResult {
 	sc.epoch++
 	copy(sc.lo, st.rootLo)
@@ -351,18 +514,44 @@ func (st *search) process(n *bbNode, snap incumbent, sc *bbScratch) bbResult {
 			sc.lo[a.branchVar], sc.hi[a.branchVar] = a.lo, a.hi
 		}
 	}
-	sol, err := lp.SolveWithBounds(st.prob, sc.lo, sc.hi, &st.lpOpts)
+	opts := st.lpOpts
+	opts.Basis = n.seedBasis
+	opts.WantBasis = true
+	opts.Scratch = sc.lp
+	sol, err := lp.SolveWithBounds(st.red, sc.lo, sc.hi, &opts)
 	if err != nil {
 		return bbResult{done: true, err: err}
 	}
 	out := st.dispose(n, sol, snap, sc.lo, sc.hi)
 	out.lpIters = sol.Iters
+	out.warm = sol.WarmStarted
+	out.degen = sol.DegenPivots
+	// Realized objective degradation → pseudocost observation. Only optimal
+	// node solves produce one (a pruned-by-status or limited solve has no
+	// trustworthy bound).
+	if sol.Status == lp.StatusOptimal {
+		dist := n.frac
+		if n.digit == 1 {
+			dist = 1 - n.frac
+		}
+		if dist > 1e-9 {
+			deg := sol.Obj - n.parentObj
+			if deg < 0 {
+				deg = 0
+			}
+			out.hasObs = true
+			out.obsVar = n.branchVar
+			out.obsUp = n.digit == 1
+			out.obsUnit = deg / dist
+		}
+	}
 	return out
 }
 
 // dispose classifies a solved node: prune, record an integer-feasible
 // candidate, or branch into children. It must depend only on its arguments
-// (never the live incumbent) to keep rounds deterministic.
+// and between-round state (never the live incumbent) to keep rounds
+// deterministic.
 func (st *search) dispose(n *bbNode, sol *lp.Solution, snap incumbent, lo, hi []float64) bbResult {
 	switch sol.Status {
 	case lp.StatusInfeasible:
@@ -371,17 +560,18 @@ func (st *search) dispose(n *bbNode, sol *lp.Solution, snap incumbent, lo, hi []
 		// The subtree's bound cannot be trusted: leave it unresolved.
 		return bbResult{done: true}
 	}
-	if snap.x != nil && sol.Obj >= snap.obj-1e-9 {
+	adjObj := sol.Obj + st.objOffset
+	if snap.x != nil && adjObj >= snap.obj-1e-9 {
 		return bbResult{done: true, complete: true} // bound prune
 	}
-	if st.gapMet(snap, sol.Obj) {
+	if st.gapMet(snap, adjObj) {
 		return bbResult{done: true, complete: true}
 	}
 	bv := st.pickBranchVar(sol.X)
 	if bv < 0 {
-		// Integer feasible: candidate incumbent.
+		// Integer feasible: candidate incumbent (postsolved to full space).
 		return bbResult{done: true, complete: true,
-			cand: incumbent{x: st.roundedCopy(sol.X), obj: sol.Obj, path: pathOf(n)}}
+			cand: incumbent{x: st.pr.Postsolve(st.roundedCopy(sol.X)), obj: adjObj, path: pathOf(n)}}
 	}
 	val := sol.X[bv]
 	floorV := math.Floor(val)
@@ -389,11 +579,31 @@ func (st *search) dispose(n *bbNode, sol *lp.Solution, snap incumbent, lo, hi []
 	if n != nil {
 		depth = n.depth + 1
 	}
-	down := &bbNode{parent: n, branchVar: bv, lo: lo[bv], hi: floorV, digit: 0, depth: depth}
-	up := &bbNode{parent: n, branchVar: bv, lo: floorV + 1, hi: hi[bv], digit: 1, depth: depth}
+	// Child intervals, intersected with the root-implied bounds of the
+	// branch variable; an empty intersection proves the child's box holds no
+	// row-feasible point and drops it without an LP solve.
+	dLo, dHi := lo[bv], floorV
+	uLo, uHi := floorV+1, hi[bv]
+	if st.impLo[bv] > dLo {
+		dLo = st.impLo[bv]
+	}
+	if st.impHi[bv] < dHi {
+		dHi = st.impHi[bv]
+	}
+	if st.impLo[bv] > uLo {
+		uLo = st.impLo[bv]
+	}
+	if st.impHi[bv] < uHi {
+		uHi = st.impHi[bv]
+	}
+	frac := val - floorV
+	down := &bbNode{parent: n, branchVar: bv, lo: dLo, hi: dHi, digit: 0, depth: depth,
+		seedBasis: sol.Basis, parentObj: sol.Obj, frac: frac}
+	up := &bbNode{parent: n, branchVar: bv, lo: uLo, hi: uHi, digit: 1, depth: depth,
+		seedBasis: sol.Basis, parentObj: sol.Obj, frac: frac}
 	// Explore the side nearer the LP value first.
 	first, second := down, up
-	if val-floorV > 0.5 {
+	if frac > 0.5 {
 		first, second = up, down
 	}
 	children := make([]*bbNode, 0, 2)
@@ -431,40 +641,55 @@ func (st *search) gapMet(snap incumbent, bound float64) bool {
 	return (snap.obj-bound)/denom <= st.opts.RelGap
 }
 
-// pickBranchVar returns the most fractional integer variable, or -1 if the
-// point is integer feasible.
+// pickBranchVar selects the branching variable among fractional integer
+// variables of the reduced-space point x, or returns -1 if the point is
+// integer feasible. With no pseudocost history yet it picks the most
+// fractional variable; once observations exist it maximizes the standard
+// pseudocost product score max(pcDown·f, ε)·max(pcUp·(1−f), ε), sides
+// without history falling back to the global average. The strict >
+// comparison ties toward the lowest index, and the table is only mutated
+// between rounds, so the choice is deterministic for every worker count.
 func (st *search) pickBranchVar(x []float64) int {
+	usePC := st.pc != nil && st.pc.gCnt > 0
 	best := -1
-	bestScore := math.Inf(1) // |frac − 0.5|: most-fractional branching
-	for j, v := range st.model.vars {
-		if !v.integer {
+	bestScore := math.Inf(-1)
+	for j, isInt := range st.redInteger {
+		if !isInt {
 			continue
 		}
 		f := x[j] - math.Floor(x[j])
 		if math.Min(f, 1-f) <= st.opts.IntTol {
 			continue // effectively integral
 		}
-		score := math.Abs(f - 0.5)
-		if score < bestScore {
+		var score float64
+		if usePC {
+			const eps = 1e-6
+			score = math.Max(st.pc.rate(j, false)*f, eps) * math.Max(st.pc.rate(j, true)*(1-f), eps)
+		} else {
+			score = -math.Abs(f - 0.5) // most-fractional branching
+		}
+		if score > bestScore {
 			best, bestScore = j, score
 		}
 	}
 	return best
 }
 
-// roundedCopy snaps near-integer values of integer variables exactly.
+// roundedCopy snaps near-integer values of integer variables exactly
+// (reduced space).
 func (st *search) roundedCopy(x []float64) []float64 {
 	out := append([]float64(nil), x...)
-	for j, v := range st.model.vars {
-		if v.integer {
+	for j, isInt := range st.redInteger {
+		if isInt {
 			out[j] = math.Round(out[j])
 		}
 	}
 	return out
 }
 
-// tryRounding rounds the root relaxation point and installs it as incumbent
-// if it is feasible for the full model.
+// tryRounding rounds the root relaxation point (reduced space), clamps it
+// into the root box, and installs the postsolved point as incumbent if it is
+// feasible for the full model.
 func (st *search) tryRounding(x []float64) {
 	cand := st.roundedCopy(x)
 	for j := range cand {
@@ -475,8 +700,9 @@ func (st *search) tryRounding(x []float64) {
 			cand[j] = st.rootHi[j]
 		}
 	}
-	if obj, ok := st.checkFeasible(cand); ok {
-		c := incumbent{x: cand, obj: obj}
+	full := st.pr.Postsolve(cand)
+	if obj, ok := st.checkFeasible(full); ok {
+		c := incumbent{x: full, obj: obj}
 		if replaces(c, st.inc) {
 			st.inc = c
 		}
@@ -484,7 +710,8 @@ func (st *search) tryRounding(x []float64) {
 }
 
 // checkFeasible verifies a candidate point against all rows, indicator
-// constraints, bounds, and integrality; it returns the objective value.
+// constraints, bounds, and integrality in the full model space; it returns
+// the objective value.
 func (st *search) checkFeasible(x []float64) (float64, bool) {
 	const tol = 1e-6
 	if len(x) != len(st.model.vars) {

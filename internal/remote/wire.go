@@ -34,6 +34,10 @@ func ToWireSolution(sol *core.Solution) *client.SolveResult {
 		MILPNodes:     sol.MILPNodes,
 		MILPWorkers:   sol.MILPWorkers,
 		LPIters:       sol.LPIters,
+		WarmStarts:    sol.WarmStarts,
+		DegenPivots:   sol.DegenPivots,
+		PresolveRows:  sol.PresolveRows,
+		PresolveCols:  sol.PresolveCols,
 		TotalMS:       sol.TotalTime.Milliseconds(),
 	}
 	if math.IsInf(sol.EpsUpper, 1) {
@@ -49,6 +53,10 @@ func ToWireSolution(sol *core.Solution) *client.SolveResult {
 			Coefficients: it.Coefficients,
 			Nodes:        it.Nodes,
 			LPIters:      it.LPIters,
+			WarmStarts:   it.WarmStarts,
+			DegenPivots:  it.DegenPivots,
+			PresolveRows: it.PresolveRows,
+			PresolveCols: it.PresolveCols,
 			Feasible:     it.Feasible,
 			Objective:    it.Objective,
 		})
@@ -82,6 +90,10 @@ func FromWireSolution(sr *client.SolveResult, n int) (*core.Solution, error) {
 		MILPNodes:     sr.MILPNodes,
 		MILPWorkers:   sr.MILPWorkers,
 		LPIters:       sr.LPIters,
+		WarmStarts:    sr.WarmStarts,
+		DegenPivots:   sr.DegenPivots,
+		PresolveRows:  sr.PresolveRows,
+		PresolveCols:  sr.PresolveCols,
 		TotalTime:     msToDuration(sr.TotalMS),
 	}
 	if sr.EpsUpperInf {
@@ -95,6 +107,10 @@ func FromWireSolution(sr *client.SolveResult, n int) (*core.Solution, error) {
 			Coefficients: it.Coefficients,
 			Nodes:        it.Nodes,
 			LPIters:      it.LPIters,
+			WarmStarts:   it.WarmStarts,
+			DegenPivots:  it.DegenPivots,
+			PresolveRows: it.PresolveRows,
+			PresolveCols: it.PresolveCols,
 			Feasible:     it.Feasible,
 			Objective:    it.Objective,
 		})
