@@ -48,6 +48,7 @@ import (
 	"spq/internal/core"
 	"spq/internal/engine"
 	"spq/internal/obs"
+	"spq/internal/relation"
 	"spq/internal/remote"
 	"spq/internal/resultcache"
 	"spq/internal/workload"
@@ -68,6 +69,8 @@ type config struct {
 	resultCache int
 	timeout     time.Duration
 	parallelism int
+	maxResident int
+	cacheBlocks int
 	maxJobs     int
 	jobHistory  int
 
@@ -96,6 +99,8 @@ func main() {
 	flag.IntVar(&cfg.resultCache, "result-cache", 256, "result cache capacity in entries (negative disables)")
 	flag.DurationVar(&cfg.timeout, "timeout", 60*time.Second, "default per-query timeout")
 	flag.IntVar(&cfg.parallelism, "parallelism", 0, "per-query worker count (0 = one per CPU)")
+	flag.IntVar(&cfg.maxResident, "max-resident-scenarios", 0, "materialize scenario matrices while M stays at or under this budget (0 = always stream block-wise, negative = always materialize)")
+	flag.IntVar(&cfg.cacheBlocks, "colcache-blocks", 0, "out-of-core column block-cache capacity in 2048-value blocks (0 = 256 blocks = 4 MiB)")
 	flag.IntVar(&cfg.maxJobs, "max-jobs", 0, "max active async jobs (0 = max-inflight + max-queue)")
 	flag.IntVar(&cfg.jobHistory, "job-history", 0, "finished jobs kept pollable (0 = 64, negative disables)")
 	flag.StringVar(&cfg.workers, "workers", "", "comma-separated worker spqd base URLs; enables the \"remote\" solver (coordinator mode)")
@@ -216,17 +221,25 @@ func run(cfg config) error {
 		return fmt.Errorf("-log-format: %w", err)
 	}
 
+	if cfg.cacheBlocks < 0 {
+		return errors.New("-colcache-blocks must be >= 0")
+	}
+	if cfg.cacheBlocks > 0 {
+		relation.ConfigureBlockCache(2048, cfg.cacheBlocks)
+	}
+
 	eopts := &engine.Options{
-		MaxInFlight:     cfg.maxInFlight,
-		MaxQueue:        cfg.maxQueue,
-		PlanCacheSize:   cfg.cacheSize,
-		ResultCacheSize: cfg.resultCache,
-		DefaultTimeout:  cfg.timeout,
-		Parallelism:     cfg.parallelism,
-		MaxJobs:         cfg.maxJobs,
-		JobHistory:      cfg.jobHistory,
-		Logger:          logger,
-		SlowQuery:       cfg.slowQuery,
+		MaxInFlight:          cfg.maxInFlight,
+		MaxQueue:             cfg.maxQueue,
+		PlanCacheSize:        cfg.cacheSize,
+		ResultCacheSize:      cfg.resultCache,
+		DefaultTimeout:       cfg.timeout,
+		Parallelism:          cfg.parallelism,
+		MaxJobs:              cfg.maxJobs,
+		MaxResidentScenarios: cfg.maxResident,
+		JobHistory:           cfg.jobHistory,
+		Logger:               logger,
+		SlowQuery:            cfg.slowQuery,
 	}
 
 	// Coordinator mode: build the remote solver over the worker pool and

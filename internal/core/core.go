@@ -61,6 +61,25 @@ type Options struct {
 	SolverNodes int
 	// RelGap is the MILP relative optimality gap (default 1e-4).
 	RelGap float64
+	// MaxResidentScenarios bounds how many optimization scenarios per
+	// summarized expression SummarySearch may keep materialized in memory:
+	//
+	//	 0 (default) — fully streamed: summaries and greedy-selection
+	//	   scores fold block-wise over scenario cursors; no N×M matrix is
+	//	   ever built and per-query scenario memory is Θ(N) (the summary
+	//	   vectors), independent of M.
+	//	>0 — hybrid: scenario sets are materialized (the fast path for
+	//	   repeated summarization) while M stays within the budget; the
+	//	   evaluation drops them and streams once M outgrows it. The
+	//	   admission layer uses this to bound per-query memory.
+	//	<0 — always materialize (the legacy path, kept for ablations).
+	//
+	// Streamed and materialized evaluation are bit-identical — realizations
+	// are pure functions of their (attribute, tuple, scenario) coordinates —
+	// so, like Parallelism, this knob is excluded from Key(). The Naïve SAA
+	// baseline always materializes: its formulation consumes whole scenario
+	// rows.
+	MaxResidentScenarios int
 	// Parallelism is the number of worker goroutines used for scenario
 	// generation, summarization, out-of-sample validation, and the
 	// branch-and-bound MILP search. 0 or 1 run sequentially; a negative
@@ -127,10 +146,11 @@ func (o *Options) withDefaults() Options {
 
 // Key renders every result-relevant option field canonically, after
 // defaulting, so two Options values that evaluate identically share one key.
-// The engine's result cache builds its keys from it. Parallelism and
-// Progress are deliberately excluded: parallel evaluation is bit-identical
-// to sequential for any worker count, and the progress callback only
-// observes, so neither can change a result. Time budgets
+// The engine's result cache builds its keys from it. Parallelism,
+// MaxResidentScenarios, and Progress are deliberately excluded: parallel and
+// streamed evaluation are bit-identical to sequential materialized
+// evaluation for any worker count or residency budget, and the progress
+// callback only observes, so none can change a result. Time budgets
 // (TimeLimit, SolverTime, SolverNodes) are included: when a budget binds,
 // the result depends on it. Nil receivers key like the zero Options.
 func (o *Options) Key() string {
@@ -157,9 +177,12 @@ type Iteration struct {
 	LPIters int
 	// WarmStarts counts node LPs of the iteration's MILP solve that were
 	// reinstated from a parent basis instead of solved from scratch;
-	// DegenPivots counts degenerate simplex pivots across those LPs.
+	// DegenPivots counts degenerate simplex pivots across those LPs;
+	// BoundFlips counts dual iterations resolved by a bound flip (no basis
+	// exchange, no eta update).
 	WarmStarts  int
 	DegenPivots int
+	BoundFlips  int
 	// PresolveRows and PresolveCols count the rows and columns the MILP
 	// root presolve eliminated before the search started.
 	PresolveRows int
@@ -208,9 +231,11 @@ type Solution struct {
 	LPIters int
 	// WarmStarts and DegenPivots aggregate the LP kernel's warm-start and
 	// degenerate-pivot counts across every MILP solve; PresolveRows and
-	// PresolveCols aggregate the root-presolve reductions. All observational.
+	// PresolveCols aggregate the root-presolve reductions; BoundFlips the
+	// kernel's flip-instead-of-pivot dual iterations. All observational.
 	WarmStarts   int
 	DegenPivots  int
+	BoundFlips   int
 	PresolveRows int
 	PresolveCols int
 }
@@ -267,6 +292,7 @@ type runner struct {
 	lpIters      int
 	warmStarts   int
 	degenPivots  int
+	boundFlips   int
 	presolveRows int
 	presolveCols int
 }
@@ -332,6 +358,7 @@ func (r *runner) noteSolve(res *milp.Result) {
 	r.lpIters += res.LPIters
 	r.warmStarts += res.WarmStarts
 	r.degenPivots += res.DegenPivots
+	r.boundFlips += res.BoundFlips
 	r.presolveRows += res.PresolveRows
 	r.presolveCols += res.PresolveCols
 	if res.Workers > r.milpWorkers {
@@ -358,6 +385,7 @@ func (r *runner) solveMILP(kind string, model *milp.Model, opts *milp.Options) (
 	sp.SetInt("lp_iters", int64(res.LPIters))
 	sp.SetInt("warm_starts", int64(res.WarmStarts))
 	sp.SetInt("degen_pivots", int64(res.DegenPivots))
+	sp.SetInt("bound_flips", int64(res.BoundFlips))
 	sp.SetInt("presolve_rows", int64(res.PresolveRows))
 	sp.SetInt("presolve_cols", int64(res.PresolveCols))
 	sp.End()
@@ -391,6 +419,7 @@ func (r *runner) finish(sol *Solution) *Solution {
 	sol.LPIters = r.lpIters
 	sol.WarmStarts = r.warmStarts
 	sol.DegenPivots = r.degenPivots
+	sol.BoundFlips = r.boundFlips
 	sol.PresolveRows = r.presolveRows
 	sol.PresolveCols = r.presolveCols
 	return sol

@@ -137,18 +137,20 @@ func solutionKey(x []float64, alphas []float64) string {
 // for the best (minimally conservative) CSA formulation. It returns the best
 // solution found (feasible if any iteration validated feasible) or nil when
 // every CSA was unsolvable. Iteration records are appended to *iters.
-func (r *runner) csaSolve(sets []*scenario.Set, objSet *scenario.Set, x0 []float64, mCount, zCount int, iters *[]Iteration) (*Solution, error) {
+// The scenario population arrives as a bank: materialized or streamed, the
+// selection and summarization arithmetic is identical (see bank.go).
+func (r *runner) csaSolve(bk *scenarioBank, x0 []float64, mCount, zCount int, iters *[]Iteration) (*Solution, error) {
 	silp := r.silp
 	k := len(silp.ProbCons)
 
 	// Shared random partition of the scenario ids (§4.1); deterministic per
-	// (seed, M, Z) so re-invocations after growing M are reproducible.
+	// (seed, M, Z) so re-invocations after growing M are reproducible. The
+	// partition depends only on the scenario count, never on realized
+	// values, so a streamed bank partitions scenarios it never generated.
 	partSeed := rng.Mix(r.opts.Seed, uint64(mCount), uint64(zCount))
 	var parts [][]int
-	if k > 0 {
-		parts = sets[0].Partition(zCount, partSeed)
-	} else if objSet != nil {
-		parts = objSet.Partition(zCount, partSeed)
+	if k > 0 || bk.hasObj() {
+		parts = scenario.PartitionIDs(mCount, zCount, partSeed)
 	}
 	grid := float64(zCount) / float64(mCount)
 	if grid > 1 {
@@ -165,7 +167,7 @@ func (r *runner) csaSolve(sets []*scenario.Set, objSet *scenario.Set, x0 []float
 			dir = scenario.Min
 		}
 		for _, part := range parts {
-			sm, err := objSet.SummarizeP(r.ctx, part, dir, nil, r.opts.Parallelism)
+			sm, err := bk.Summarize(objCK, part, dir, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -245,11 +247,15 @@ func (r *runner) csaSolve(sets []*scenario.Set, objSet *scenario.Set, x0 []float
 				}
 			}
 			for _, part := range parts {
-				chosen := sets[ck].GreedyPick(part, st.alphas[ck], dir, x)
+				chosen, err := bk.Pick(ck, part, st.alphas[ck], dir, x)
+				if err != nil {
+					sumSpan.End()
+					return nil, err
+				}
 				if len(chosen) == 0 {
 					chosen = part[:1]
 				}
-				sm, err := sets[ck].SummarizeP(r.ctx, chosen, dir, accel, r.opts.Parallelism)
+				sm, err := bk.Summarize(ck, chosen, dir, accel)
 				if err != nil {
 					sumSpan.End()
 					return nil, err
@@ -276,6 +282,7 @@ func (r *runner) csaSolve(sets []*scenario.Set, objSet *scenario.Set, x0 []float
 		(*iters)[len(*iters)-1].LPIters = res.LPIters
 		(*iters)[len(*iters)-1].WarmStarts = res.WarmStarts
 		(*iters)[len(*iters)-1].DegenPivots = res.DegenPivots
+		(*iters)[len(*iters)-1].BoundFlips = res.BoundFlips
 		(*iters)[len(*iters)-1].PresolveRows = res.PresolveRows
 		(*iters)[len(*iters)-1].PresolveCols = res.PresolveCols
 		(*iters)[len(*iters)-1].SolveTime = time.Since(solveStart)

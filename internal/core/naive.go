@@ -54,6 +54,7 @@ func NaiveCtx(ctx context.Context, silp *translate.SILP, o *Options) (*Solution,
 			LPIters:      res.LPIters,
 			WarmStarts:   res.WarmStarts,
 			DegenPivots:  res.DegenPivots,
+			BoundFlips:   res.BoundFlips,
 			PresolveRows: res.PresolveRows,
 			PresolveCols: res.PresolveCols,
 			SolveTime:    time.Since(solveStart),

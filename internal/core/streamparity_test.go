@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+)
+
+// streamParityQuery exercises WHERE pushdown, a probabilistic constraint,
+// and an expected-sum objective in one evaluation.
+const streamParityQuery = `SELECT PACKAGE(*) FROM stocks WHERE price <= 80 SUCH THAT
+	SUM(price) <= 250 AND
+	SUM(gain) >= -4 WITH PROBABILITY >= 0.8
+	MAXIMIZE EXPECTED SUM(gain)`
+
+// TestStreamedMatchesMaterialized is the end-to-end bit-parity matrix the
+// streaming pipeline must pass: for every worker count, SummarySearch under
+// MaxResidentScenarios 0 (always stream), −1 (always materialize, the
+// legacy path), and a small positive budget (hybrid: materialized until M
+// outgrows it mid-search) must return identical packages, objectives,
+// surpluses, and iteration traces.
+func TestStreamedMatchesMaterialized(t *testing.T) {
+	for _, query := range []string{easyQuery, streamParityQuery} {
+		for _, workers := range []int{1, 2, 8, -1} {
+			var want *Solution
+			for _, budget := range []int{-1, 0, 20} {
+				silp := portfolioSILP(t, 14, query)
+				opts := smallOptions(11)
+				opts.Parallelism = workers
+				opts.MaxResidentScenarios = budget
+				sol, err := SummarySearch(silp, opts)
+				if err != nil {
+					t.Fatalf("workers=%d budget=%d: %v", workers, budget, err)
+				}
+				if budget == -1 {
+					want = sol
+					continue
+				}
+				if (sol.X == nil) != (want.X == nil) {
+					t.Fatalf("workers=%d budget=%d: X presence differs", workers, budget)
+				}
+				for i := range want.X {
+					if sol.X[i] != want.X[i] {
+						t.Fatalf("workers=%d budget=%d: X[%d] = %v, want %v (must be bit-identical)",
+							workers, budget, i, sol.X[i], want.X[i])
+					}
+				}
+				if sol.Objective != want.Objective {
+					t.Fatalf("workers=%d budget=%d: objective %v, want %v", workers, budget, sol.Objective, want.Objective)
+				}
+				if sol.M != want.M || sol.Z != want.Z || sol.Feasible != want.Feasible {
+					t.Fatalf("workers=%d budget=%d: (M,Z,feasible)=(%d,%d,%v), want (%d,%d,%v)",
+						workers, budget, sol.M, sol.Z, sol.Feasible, want.M, want.Z, want.Feasible)
+				}
+				if len(sol.Surpluses) != len(want.Surpluses) {
+					t.Fatalf("workers=%d budget=%d: %d surpluses, want %d", workers, budget, len(sol.Surpluses), len(want.Surpluses))
+				}
+				for i := range want.Surpluses {
+					if sol.Surpluses[i] != want.Surpluses[i] {
+						t.Fatalf("workers=%d budget=%d: surplus[%d] = %v, want %v",
+							workers, budget, i, sol.Surpluses[i], want.Surpluses[i])
+					}
+				}
+				if len(sol.Iterations) != len(want.Iterations) {
+					t.Fatalf("workers=%d budget=%d: %d iterations, want %d",
+						workers, budget, len(sol.Iterations), len(want.Iterations))
+				}
+				for i := range want.Iterations {
+					a, b := sol.Iterations[i], want.Iterations[i]
+					if a.M != b.M || a.Z != b.Z || a.Feasible != b.Feasible || a.Objective != b.Objective {
+						t.Fatalf("workers=%d budget=%d: iteration %d diverged: (%d,%d,%v,%v) vs (%d,%d,%v,%v)",
+							workers, budget, i, a.M, a.Z, a.Feasible, a.Objective, b.M, b.Z, b.Feasible, b.Objective)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestHybridBankSwitchesMidSearch pins the hybrid mechanics: a budget below
+// MaxM but above InitialM must start materialized and drop to streaming when
+// M grows past it, with no effect on the result (covered above); here we
+// assert the switch actually happens.
+func TestHybridBankSwitches(t *testing.T) {
+	silp := portfolioSILP(t, 10, easyQuery)
+	r := newRunner(t.Context(), silp, &Options{Seed: 1, ValidationM: 500, InitialM: 10, IncrementM: 10, MaxM: 40, MaxResidentScenarios: 15})
+	bk, err := r.newBank(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bk.Streamed() {
+		t.Fatal("bank should start materialized under a 15-scenario budget at M=10")
+	}
+	if err := bk.Grow(10); err != nil {
+		t.Fatal(err)
+	}
+	if !bk.Streamed() {
+		t.Fatal("bank should switch to streaming once M=20 exceeds the budget")
+	}
+	if bk.M() != 20 {
+		t.Fatalf("M = %d, want 20", bk.M())
+	}
+}

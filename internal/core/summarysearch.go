@@ -103,7 +103,7 @@ func SummarySearchCtx(ctx context.Context, silp *translate.SILP, o *Options) (*S
 	if r.opts.FixedZ > 0 {
 		z = r.opts.FixedZ
 	}
-	sets, objSet, err := r.generateSets(0, m)
+	bk, err := r.newBank(m)
 	if err != nil {
 		return nil, err
 	}
@@ -116,7 +116,7 @@ func SummarySearchCtx(ctx context.Context, silp *translate.SILP, o *Options) (*S
 		if z > m {
 			z = m
 		}
-		sol, err := r.csaSolve(sets, objSet, x0, m, z, &iters)
+		sol, err := r.csaSolve(bk, x0, m, z, &iters)
 		if err != nil {
 			return nil, err
 		}
@@ -145,7 +145,7 @@ func SummarySearchCtx(ctx context.Context, silp *translate.SILP, o *Options) (*S
 		if m+grow > r.opts.MaxM {
 			grow = r.opts.MaxM - m
 		}
-		if err := r.extendSets(sets, objSet, grow); err != nil {
+		if err := bk.Grow(grow); err != nil {
 			return nil, err
 		}
 		m += grow

@@ -60,6 +60,7 @@ import (
 	"spq/internal/resultcache"
 	"spq/internal/sketch"
 	"spq/internal/spaql"
+	"spq/internal/stream"
 	"spq/internal/translate"
 )
 
@@ -106,6 +107,13 @@ type Options struct {
 	// Parallelism is the per-query worker count handed to core.Options
 	// when the request does not set one (default: one per available CPU).
 	Parallelism int
+	// MaxResidentScenarios is the default core.Options.MaxResidentScenarios
+	// for requests that do not set one: 0 (the default) streams scenario
+	// values block-wise with constant memory, > 0 materializes scenario
+	// matrices while M stays at or under the budget, < 0 always
+	// materializes. Streamed and materialized evaluation are bit-identical,
+	// so this knob trades memory against per-summary recompute cost only.
+	MaxResidentScenarios int
 	// MaxJobs bounds the async jobs that may be active (queued or running)
 	// at once; Submit beyond it fails with ErrOverloaded (default
 	// MaxInFlight+MaxQueue, which preserves the synchronous admission
@@ -389,8 +397,22 @@ type Stats struct {
 	LpIters       int64 `json:"lp_iters"`
 	LpWarmStarts  int64 `json:"lp_warm_starts"`
 	LpDegenPivots int64 `json:"lp_degen_pivots"`
+	LpBoundFlips  int64 `json:"lp_bound_flips"`
 	PresolveRows  int64 `json:"presolve_rows"`
 	PresolveCols  int64 `json:"presolve_cols"`
+	// Streaming-pipeline counters (process-wide, not per-engine): scenario
+	// value blocks realized on demand, individual values produced, and the
+	// tuples kept/removed by WHERE pushdown before any scenario generation.
+	StreamBlocks     int64 `json:"stream_blocks"`
+	StreamValues     int64 `json:"stream_values"`
+	PushdownKept     int64 `json:"pushdown_kept_tuples"`
+	PushdownFiltered int64 `json:"pushdown_filtered_tuples"`
+	// Out-of-core column block-cache counters (process-wide): lookups served
+	// from cache, block loads, evictions, and bytes currently resident.
+	ColCacheHits     int64 `json:"colcache_hits"`
+	ColCacheMisses   int64 `json:"colcache_misses"`
+	ColCacheEvicted  int64 `json:"colcache_evictions"`
+	ColCacheResident int64 `json:"colcache_resident_bytes"`
 	// Result-cache replication counters, present only when the engine runs
 	// a Replicating store (see internal/resultcache): entries pushed to
 	// peers, accepted from peers, failed deliveries, and local pushes
@@ -793,6 +815,9 @@ func (e *Engine) query(ctx context.Context, req Request) (*Result, error) {
 	if opts.Parallelism == 0 {
 		opts.Parallelism = e.opts.Parallelism
 	}
+	if opts.MaxResidentScenarios == 0 {
+		opts.MaxResidentScenarios = e.opts.MaxResidentScenarios
+	}
 	if req.Progress != nil {
 		opts.Progress = req.Progress
 	}
@@ -906,6 +931,7 @@ func (e *Engine) query(ctx context.Context, req Request) (*Result, error) {
 	e.m.lpIters.Add(int64(sol.LPIters))
 	e.m.lpWarmStarts.Add(int64(sol.WarmStarts))
 	e.m.lpDegenPivots.Add(int64(sol.DegenPivots))
+	e.m.lpBoundFlips.Add(int64(sol.BoundFlips))
 	e.m.presolveRows.Add(int64(sol.PresolveRows))
 	e.m.presolveCols.Add(int64(sol.PresolveCols))
 	e.m.milpWorkersMax.SetMax(int64(sol.MILPWorkers))
@@ -959,6 +985,7 @@ func (e *Engine) Stats() Stats {
 		LpIters:           e.m.lpIters.Value(),
 		LpWarmStarts:      e.m.lpWarmStarts.Value(),
 		LpDegenPivots:     e.m.lpDegenPivots.Value(),
+		LpBoundFlips:      e.m.lpBoundFlips.Value(),
 		PresolveRows:      e.m.presolveRows.Value(),
 		PresolveCols:      e.m.presolveCols.Value(),
 		Active:            e.m.active.Value(),
@@ -974,6 +1001,16 @@ func (e *Engine) Stats() Stats {
 		JobsCancelled:     e.m.jobsCancelled.Value(),
 		JobsEvicted:       e.m.jobsEvicted.Value(),
 	}
+	sc := stream.Counters()
+	st.StreamBlocks = sc.BlocksGenerated
+	st.StreamValues = sc.ValuesGenerated
+	st.PushdownKept = sc.PushdownKept
+	st.PushdownFiltered = sc.PushdownFiltered
+	cc := relation.CacheStats()
+	st.ColCacheHits = cc.Hits
+	st.ColCacheMisses = cc.Misses
+	st.ColCacheEvicted = cc.Evictions
+	st.ColCacheResident = cc.ResidentBytes
 	if c, ok := e.results.(interface{ Counters() resultcache.Counters }); ok {
 		rc := c.Counters()
 		st.CacheReplicated = rc.Replicated

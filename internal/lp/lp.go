@@ -240,6 +240,10 @@ type Solution struct {
 	// DegenPivots is the number of degenerate (zero-step) pivots performed —
 	// the kernel's stalling indicator.
 	DegenPivots int
+	// BoundFlips is the number of dual iterations resolved by flipping the
+	// entering variable bound-to-bound instead of pivoting — iterations that
+	// skipped the eta-file update entirely.
+	BoundFlips int
 	// WarmStarted reports that the solve was seeded from Options.Basis and
 	// the seed was accepted (dual-simplex reinstatement ran instead of
 	// phase 1 from the logical basis).

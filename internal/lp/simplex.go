@@ -124,6 +124,7 @@ type simplex struct {
 	sincePivot  int // pivots since last refactorization (= live eta count)
 	degenerate  int // consecutive degenerate iterations (for Bland's rule)
 	degenTotal  int // total degenerate pivots this solve
+	boundFlips  int // dual iterations resolved by a bound flip (no eta)
 	blandActive bool
 
 	hasDL bool     // opts.Deadline is set
@@ -566,6 +567,7 @@ func (s *simplex) solve() (*Solution, error) {
 		X:           s.extractX(),
 		Iters:       s.iters,
 		DegenPivots: s.degenTotal,
+		BoundFlips:  s.boundFlips,
 		WarmStarted: warmed,
 	}
 	for j := 0; j < s.n; j++ {
@@ -635,6 +637,59 @@ func (s *simplex) dualReinstate() (st Status, fallback bool) {
 		s.btran()
 		s.btranRow(r)
 		enter := s.dualRatioTest(below)
+		// Bound-flip fast path: when the cheapest entering candidate is a
+		// boxed variable whose full lower↔upper traversal leaves row r still
+		// violated on the same side, the eventual dual step must be long
+		// enough to carry that variable past its ratio-test breakpoint — its
+		// reduced cost would end up with the admissible sign for the opposite
+		// bound anyway. Flipping it there now is a complete dual iteration
+		// with no basis change: no eta append, no refactor pressure, just an
+		// FTRAN to shift x_B by the traversed span. The flipped variable
+		// self-excludes from the re-run ratio test (its admissibility sign
+		// inverts with its status), so each nonbasic flips at most once per
+		// row and the loop terminates.
+		leave := s.basis[r]
+		for enter >= 0 {
+			span := s.hi[enter] - s.lo[enter]
+			if s.status[enter] == statusFree || math.IsInf(span, 1) || span < s.opts.FeasTol {
+				break
+			}
+			amt := span
+			if s.status[enter] == statusAtUpper {
+				amt = -span
+			}
+			after := s.xb[r] - s.rowCoef(enter)*amt
+			still := after < s.lo[leave]-s.opts.FeasTol
+			if !below {
+				still = after > s.hi[leave]+s.opts.FeasTol
+			}
+			if !still {
+				break
+			}
+			s.ftran(enter)
+			for k := 0; k < s.m; k++ {
+				s.xb[k] -= s.w[k] * amt
+			}
+			if s.status[enter] == statusAtLower {
+				s.status[enter] = statusAtUpper
+			} else {
+				s.status[enter] = statusAtLower
+			}
+			s.boundFlips++
+			s.iters++
+			if s.iters >= s.opts.MaxIters {
+				return StatusIterLimit, false
+			}
+			if s.interrupted() {
+				return StatusCancelled, false
+			}
+			if below {
+				viol = s.lo[leave] - s.xb[r]
+			} else {
+				viol = s.xb[r] - s.hi[leave]
+			}
+			enter = s.dualRatioTest(below)
+		}
 		if enter < 0 {
 			// No admissible entering column. With the violation comfortably
 			// above tolerance this is a proof of infeasibility (see the

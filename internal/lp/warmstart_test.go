@@ -187,6 +187,57 @@ func TestScratchReuseMatchesFresh(t *testing.T) {
 	_ = prev
 }
 
+func TestDualBoundFlipFastPath(t *testing.T) {
+	// Knapsack LP engineered so the warm-started dual reinstatement must
+	// traverse small-span candidates before the ratio test finds a pivot that
+	// repairs the violated row: max 3(x0+…+x3) + 6·x4 subject to
+	// 0.2(x0+…+x3) + x4 ≤ 1.55, x ∈ [0,1]⁵. The parent optimum holds
+	// x0..x3 at upper and x4 basic at 0.75; up-branching x4 (lo=1) leaves a
+	// 0.25 violation that one candidate's full 0.2-weight traversal cannot
+	// close, so the kernel must flip it bound-to-bound (no eta) and move on.
+	p := NewProblem(5)
+	for j := 0; j < 4; j++ {
+		p.SetObj(j, -3)
+		p.SetVarBounds(j, 0, 1)
+	}
+	p.SetObj(4, -6)
+	p.SetVarBounds(4, 0, 1)
+	p.AddRow([]int{0, 1, 2, 3, 4}, []float64{0.2, 0.2, 0.2, 0.2, 1}, -Inf, 1.55)
+	parent, err := Solve(p, &Options{WantBasis: true})
+	if err != nil || parent.Status != StatusOptimal {
+		t.Fatalf("parent: %+v err=%v", parent, err)
+	}
+	if parent.BoundFlips != 0 {
+		t.Fatalf("cold solve recorded %d bound flips (dual path never ran)", parent.BoundFlips)
+	}
+	lo := append([]float64(nil), p.varLo...)
+	hi := append([]float64(nil), p.varHi...)
+	lo[4] = 1 // up-branch on the fractional basic
+	cold, err := SolveWithBounds(p, lo, hi, nil)
+	if err != nil || cold.Status != StatusOptimal {
+		t.Fatalf("cold child: %+v err=%v", cold, err)
+	}
+	warm, err := SolveWithBounds(p, lo, hi, &Options{Basis: parent.Basis})
+	if err != nil || warm.Status != StatusOptimal {
+		t.Fatalf("warm child: %+v err=%v", warm, err)
+	}
+	if !warm.WarmStarted {
+		t.Fatal("warm child did not accept the seed")
+	}
+	if warm.BoundFlips == 0 {
+		t.Fatal("expected at least one bound flip during dual reinstatement")
+	}
+	if math.Abs(warm.Obj-cold.Obj) > 1e-9 {
+		t.Fatalf("warm obj %.12g != cold %.12g", warm.Obj, cold.Obj)
+	}
+	// The fast path must stay deterministic like every other kernel counter.
+	rep, err := SolveWithBounds(p, lo, hi, &Options{Basis: parent.Basis})
+	if err != nil || rep.BoundFlips != warm.BoundFlips || rep.Iters != warm.Iters {
+		t.Fatalf("flip counter unstable: (%d,%d) vs (%d,%d), err=%v",
+			rep.BoundFlips, rep.Iters, warm.BoundFlips, warm.Iters, err)
+	}
+}
+
 func TestDegenPivotCounterMonotone(t *testing.T) {
 	// A degenerate transportation-style LP should record at least zero (and
 	// usually some) degenerate pivots; the counter must never be negative and

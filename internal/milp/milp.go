@@ -319,6 +319,10 @@ type Result struct {
 	// DegenPivots counts degenerate (zero-step) simplex pivots across all LP
 	// solves — the kernel's stalling indicator.
 	DegenPivots int
+	// BoundFlips counts dual iterations resolved by a bound flip rather than
+	// a basis exchange across all LP solves — each one skipped an eta-file
+	// update. Deterministic, like LPIters.
+	BoundFlips int
 	// PresolveRows and PresolveCols count the constraint rows and variable
 	// columns the root presolve eliminated before the search began; node LPs
 	// solve the reduced problem.

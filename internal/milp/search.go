@@ -187,6 +187,7 @@ type bbResult struct {
 	lpIters  int       // simplex iterations spent on this node's LP solve
 	warm     bool      // the node LP accepted its warm-start basis
 	degen    int       // degenerate pivots in this node's LP solve
+	flips    int       // dual bound flips in this node's LP solve
 	hasObs   bool      // a pseudocost observation was realized at this node
 	obsVar   int
 	obsUp    bool
@@ -218,6 +219,7 @@ type search struct {
 	lpIters    int // total simplex iterations, accumulated between rounds
 	warmStarts int
 	degen      int
+	flips      int
 	rounds     int
 	workers    int
 	pc         *pseudocosts
@@ -321,9 +323,11 @@ func Solve(m *Model, o *Options) (*Result, error) {
 	st.nodes = 1
 	st.lpIters = rootSol.Iters
 	st.degen = rootSol.DegenPivots
+	st.flips = rootSol.BoundFlips
 	res.Bound = rootSol.Obj + st.objOffset
 	res.LPIters = st.lpIters
 	res.DegenPivots = st.degen
+	res.BoundFlips = st.flips
 	switch rootSol.Status {
 	case lp.StatusInfeasible:
 		if st.inc.x != nil {
@@ -355,6 +359,7 @@ func Solve(m *Model, o *Options) (*Result, error) {
 	res.Rounds = st.rounds
 	res.WarmStarts = st.warmStarts
 	res.DegenPivots = st.degen
+	res.BoundFlips = st.flips
 	switch {
 	case st.inc.x != nil && complete:
 		res.Status = StatusOptimal
@@ -421,6 +426,7 @@ func (st *search) run(rootSol *lp.Solution) (bool, error) {
 				st.warmStarts++
 			}
 			st.degen += r.degen
+			st.flips += r.flips
 			if r.hasObs {
 				st.pc.observe(r.obsVar, r.obsUp, r.obsUnit)
 			}
@@ -526,6 +532,7 @@ func (st *search) process(n *bbNode, snap incumbent, sc *bbScratch) bbResult {
 	out.lpIters = sol.Iters
 	out.warm = sol.WarmStarted
 	out.degen = sol.DegenPivots
+	out.flips = sol.BoundFlips
 	// Realized objective degradation → pseudocost observation. Only optimal
 	// node solves produce one (a pruned-by-status or limited solve has no
 	// trustworthy bound).

@@ -2,23 +2,32 @@ package relation
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"strconv"
 )
 
 // WriteCSV writes the deterministic columns as CSV with a header row.
 // Stochastic attributes have no deterministic values and are omitted;
 // persist their definitions in code or export realized scenarios instead.
+// Lazy columns are written block-wise without promotion.
 func (r *Relation) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(r.detNames); err != nil {
 		return err
 	}
 	record := make([]string, len(r.detNames))
+	row := make([]float64, len(r.detNames))
 	for t := 0; t < r.n; t++ {
-		for i := range r.detCols {
-			record[i] = strconv.FormatFloat(r.detCols[i][t], 'g', -1, 64)
+		for i, name := range r.detNames {
+			if col := r.detCols[i]; col != nil {
+				row[i] = col[t]
+			} else if err := r.DetBlock(name, t, row[i:i+1]); err != nil {
+				return err
+			}
+			record[i] = strconv.FormatFloat(row[i], 'g', -1, 64)
 		}
 		if err := cw.Write(record); err != nil {
 			return err
@@ -28,17 +37,21 @@ func (r *Relation) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// ReadCSV builds a relation from CSV data with a header row of column names
-// and numeric values. All columns are deterministic; attach stochastic
-// attributes with AddStoch afterwards.
-func ReadCSV(name string, rd io.Reader) (*Relation, error) {
+// readCSVRows streams numeric records off rd row by row: it reads the header,
+// then calls emit once per data row with the parsed values (the slice is
+// reused across rows). Errors name the input line the offending field starts
+// on — not the record ordinal, which differs once quoted fields span lines.
+// It returns the header and the number of data rows.
+func readCSVRows(rd io.Reader, emit func(vals []float64) error) ([]string, int, error) {
 	cr := csv.NewReader(rd)
 	cr.TrimLeadingSpace = true
+	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err != nil {
-		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
+		return nil, 0, fmt.Errorf("relation: reading CSV header: %w", err)
 	}
-	cols := make([][]float64, len(header))
+	header = append([]string(nil), header...) // ReuseRecord aliases the record
+	vals := make([]float64, len(header))
 	rows := 0
 	for {
 		record, err := cr.Read()
@@ -46,25 +59,121 @@ func ReadCSV(name string, rd io.Reader) (*Relation, error) {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("relation: reading CSV row %d: %w", rows+1, err)
-		}
-		if len(record) != len(header) {
-			return nil, fmt.Errorf("relation: CSV row %d has %d fields, want %d", rows+1, len(record), len(header))
+			// encoding/csv's ParseError already carries the line number
+			// (including wrong-field-count rows).
+			return nil, 0, fmt.Errorf("relation: reading CSV: %w", err)
 		}
 		for i, field := range record {
 			v, err := strconv.ParseFloat(field, 64)
 			if err != nil {
-				return nil, fmt.Errorf("relation: CSV row %d column %q: %w", rows+1, header[i], err)
+				line, _ := cr.FieldPos(i)
+				return nil, 0, fmt.Errorf("relation: CSV line %d column %q: %w", line, header[i], err)
 			}
-			cols[i] = append(cols[i], v)
+			vals[i] = v
+		}
+		if err := emit(vals); err != nil {
+			return nil, 0, err
 		}
 		rows++
 	}
+	return header, rows, nil
+}
+
+// ReadCSV builds a relation from CSV data with a header row of column names
+// and numeric values, parsing row-by-row off the reader (never slurping the
+// input). All columns are deterministic; attach stochastic attributes with
+// AddStoch afterwards. Errors report input line numbers.
+func ReadCSV(name string, rd io.Reader) (*Relation, error) {
+	var cols [][]float64
+	header, rows, err := readCSVRows(rd, func(vals []float64) error {
+		if cols == nil {
+			cols = make([][]float64, len(vals))
+		}
+		for i, v := range vals {
+			cols[i] = append(cols[i], v)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	rel := New(name, rows)
+	if cols == nil {
+		cols = make([][]float64, len(header))
+	}
 	for i, colName := range header {
+		if cols[i] == nil {
+			cols[i] = []float64{}
+		}
 		if err := rel.AddDet(colName, cols[i]); err != nil {
 			return nil, err
 		}
 	}
 	return rel, nil
+}
+
+// SpillCSV streams CSV data into a column-file directory (one binary column
+// file per header column plus a manifest) in constant memory, then opens the
+// result as a lazy relation. It is the out-of-core load path: a 10M-tuple
+// catalog spills once and every subsequent open maps the columns lazily.
+// nil cache → the process default block cache for the non-mmap fallback.
+func SpillCSV(name string, rd io.Reader, dir string, cache *BlockCache) (*Relation, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var writers []*ColumnWriter
+	closeAll := func() {
+		for _, w := range writers {
+			if w != nil {
+				w.Close()
+			}
+		}
+	}
+	header, rows, err := readCSVRows(rd, func(vals []float64) error {
+		if writers == nil {
+			writers = make([]*ColumnWriter, len(vals))
+			for i := range writers {
+				w, err := NewColumnWriter(columnPath(dir, i))
+				if err != nil {
+					return err
+				}
+				writers[i] = w
+			}
+		}
+		for i, v := range vals {
+			if err := writers[i].Append(v); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	if writers == nil { // header-only input still yields valid column files
+		writers = make([]*ColumnWriter, len(header))
+		for i := range writers {
+			w, err := NewColumnWriter(columnPath(dir, i))
+			if err != nil {
+				closeAll()
+				return nil, err
+			}
+			writers[i] = w
+		}
+	}
+	for _, w := range writers {
+		if err := w.Close(); err != nil {
+			return nil, err
+		}
+	}
+	m := manifest{Name: name, N: rows, Columns: header}
+	raw, err := json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(manifestPath(dir), raw, 0o644); err != nil {
+		return nil, err
+	}
+	return OpenColumnDir(dir, cache)
 }

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package relation
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapFile is unavailable on this platform; callers fall back to pread
+// through the block cache.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return nil, errors.New("relation: mmap unsupported on this platform")
+}

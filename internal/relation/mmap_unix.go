@@ -1,0 +1,15 @@
+//go:build unix
+
+package relation
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the first size bytes of f read-only. The mapping is never
+// unmapped explicitly: lazy relations live for the process, and file-backed
+// read-only pages are reclaimable by the OS under memory pressure anyway.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}

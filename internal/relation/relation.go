@@ -107,14 +107,20 @@ type stochAttr struct {
 	vg   VGFunc
 }
 
-// Relation is an in-memory Monte Carlo relation.
+// Relation is a Monte Carlo relation. Deterministic columns are either
+// resident ([]float64) or lazy (backed by a ColumnSource, e.g. an mmap'd
+// column file); stochastic attributes are always VG-generated on demand.
 type Relation struct {
 	name string
 	n    int
 
 	detNames []string
 	detCols  [][]float64
-	detIdx   map[string]int
+	// detSrcs[i] backs a lazy deterministic column when detCols[i] is nil;
+	// lazyMu guards promotion (materializing a lazy column into detCols).
+	detSrcs []ColumnSource
+	lazyMu  sync.Mutex
+	detIdx  map[string]int
 
 	stochs   []stochAttr
 	stochIdx map[string]int
@@ -172,6 +178,26 @@ func (r *Relation) AddDet(name string, values []float64) error {
 	r.detIdx[name] = len(r.detCols)
 	r.detNames = append(r.detNames, name)
 	r.detCols = append(r.detCols, values)
+	r.detSrcs = append(r.detSrcs, nil)
+	r.version++
+	return nil
+}
+
+// AddDetSource adds a lazy deterministic column backed by a ColumnSource
+// (e.g. an mmap'd column file or a cached file reader). The source length
+// must equal N. Values are read block-wise on demand; Det promotes the whole
+// column into memory only when a caller needs the resident slice.
+func (r *Relation) AddDetSource(name string, src ColumnSource) error {
+	if src.Len() != r.n {
+		return fmt.Errorf("relation: column %q source has %d values, want %d", name, src.Len(), r.n)
+	}
+	if r.hasAttr(name) {
+		return fmt.Errorf("relation: duplicate attribute %q", name)
+	}
+	r.detIdx[name] = len(r.detCols)
+	r.detNames = append(r.detNames, name)
+	r.detCols = append(r.detCols, nil)
+	r.detSrcs = append(r.detSrcs, src)
 	r.version++
 	return nil
 }
@@ -214,13 +240,74 @@ func (r *Relation) StochNames() []string {
 	return out
 }
 
-// Det returns the deterministic column, or an error if absent.
+// Det returns the deterministic column as a resident slice, or an error if
+// absent. Lazy columns are promoted (fully materialized) on first call and
+// the promotion is memoized; block-wise consumers should prefer DetBlock,
+// which never promotes.
 func (r *Relation) Det(name string) ([]float64, error) {
 	i, ok := r.detIdx[name]
 	if !ok {
 		return nil, fmt.Errorf("relation: no deterministic column %q", name)
 	}
+	if r.detCols[i] == nil && r.detSrcs[i] != nil {
+		r.lazyMu.Lock()
+		defer r.lazyMu.Unlock()
+		if r.detCols[i] == nil {
+			col := make([]float64, r.n)
+			if err := r.detSrcs[i].ReadAt(col, 0); err != nil {
+				return nil, fmt.Errorf("relation: promoting column %q: %w", name, err)
+			}
+			r.detCols[i] = col
+		}
+	}
 	return r.detCols[i], nil
+}
+
+// IsLazy reports whether the deterministic column is backed by a
+// ColumnSource and has not been promoted to a resident slice.
+func (r *Relation) IsLazy(name string) bool {
+	i, ok := r.detIdx[name]
+	if !ok {
+		return false
+	}
+	r.lazyMu.Lock()
+	defer r.lazyMu.Unlock()
+	return r.detCols[i] == nil && r.detSrcs[i] != nil
+}
+
+// DetBlock fills dst with values [off, off+len(dst)) of a deterministic
+// column without promoting lazy columns; it is the block-wise access path
+// the streaming pipeline scans with.
+func (r *Relation) DetBlock(name string, off int, dst []float64) error {
+	i, ok := r.detIdx[name]
+	if !ok {
+		return fmt.Errorf("relation: no deterministic column %q", name)
+	}
+	if off < 0 || off+len(dst) > r.n {
+		return fmt.Errorf("relation: column %q block [%d,%d) out of range [0,%d)", name, off, off+len(dst), r.n)
+	}
+	if col := r.detCols[i]; col != nil {
+		copy(dst, col[off:off+len(dst)])
+		return nil
+	}
+	return r.detSrcs[i].ReadAt(dst, off)
+}
+
+// DetValue returns one value of a deterministic column without promoting a
+// lazy column (single-element DetBlock).
+func (r *Relation) DetValue(name string, tuple int) (float64, error) {
+	i, ok := r.detIdx[name]
+	if !ok {
+		return 0, fmt.Errorf("relation: no deterministic column %q", name)
+	}
+	if col := r.detCols[i]; col != nil {
+		return col[tuple], nil
+	}
+	var buf [1]float64
+	if err := r.detSrcs[i].ReadAt(buf[:], tuple); err != nil {
+		return 0, err
+	}
+	return buf[0], nil
 }
 
 // VG returns the VG function of a stochastic attribute.
@@ -236,7 +323,14 @@ func (r *Relation) VG(name string) (VGFunc, error) {
 // Deterministic columns ignore the scenario.
 func (r *Relation) Value(src rng.Source, attr string, tuple, scenario int) (float64, error) {
 	if i, ok := r.detIdx[attr]; ok {
-		return r.detCols[i][tuple], nil
+		if col := r.detCols[i]; col != nil {
+			return col[tuple], nil
+		}
+		var buf [1]float64
+		if err := r.detSrcs[i].ReadAt(buf[:], tuple); err != nil {
+			return 0, err
+		}
+		return buf[0], nil
 	}
 	if i, ok := r.stochIdx[attr]; ok {
 		return r.stochs[i].vg.Value(src, tuple, scenario), nil
@@ -250,8 +344,11 @@ func (r *Relation) Realize(src rng.Source, attr string, scenario int, out []floa
 		return errors.New("relation: output slice length mismatch")
 	}
 	if i, ok := r.detIdx[attr]; ok {
-		copy(out, r.detCols[i])
-		return nil
+		if col := r.detCols[i]; col != nil {
+			copy(out, col)
+			return nil
+		}
+		return r.detSrcs[i].ReadAt(out, 0)
 	}
 	i, ok := r.stochIdx[attr]
 	if !ok {
@@ -340,6 +437,16 @@ func (r *Relation) Select(keep func(tuple int) bool) *Relation {
 			orig = append(orig, t)
 		}
 	}
+	return r.SelectIndices(orig)
+}
+
+// SelectIndices returns a view containing exactly the tuples at the given
+// (ascending) indices. It is the gather step predicate pushdown lands on:
+// the caller scans deterministic columns block-wise, decides which tuples
+// survive, and the view costs O(len(orig)) — not O(N) — in resident memory
+// even when the parent's columns are lazy, because only the kept tuples'
+// deterministic values are gathered.
+func (r *Relation) SelectIndices(orig []int) *Relation {
 	out := New(r.name, len(orig))
 	// Construction below mutates the view; snapshot the parent's version
 	// afterwards so Version() reflects the data the view was derived from.
@@ -352,13 +459,29 @@ func (r *Relation) Select(keep func(tuple int) bool) *Relation {
 	}
 	for i, name := range r.detNames {
 		col := make([]float64, len(orig))
-		for k, t := range orig {
-			col[k] = r.detCols[i][t]
+		if resident := r.detCols[i]; resident != nil {
+			for k, t := range orig {
+				col[k] = resident[t]
+			}
+		} else {
+			src := r.detSrcs[i]
+			var buf [1]float64
+			for k, t := range orig {
+				// Gather through the source (and its block cache, if any)
+				// without promoting the parent column.
+				if err := src.ReadAt(buf[:], t); err != nil {
+					// Sources backed by local files fail only on truncated
+					// or unreadable data; surface that as a zero column
+					// would hide corruption, so panic like an OOB index.
+					panic(fmt.Sprintf("relation: gathering column %q: %v", name, err))
+				}
+				col[k] = buf[0]
+			}
 		}
 		_ = out.AddDet(name, col)
 	}
 	for _, sa := range r.stochs {
-		_ = out.AddStoch(sa.name, &remappedVG{inner: sa.vg, orig: orig})
+		_ = out.AddStoch(sa.name, &remappedVG{inner: sa.vg, orig: append([]int(nil), orig...)})
 	}
 	for attr, m := range r.means {
 		col := make([]float64, len(orig))

@@ -133,11 +133,12 @@ func (s *Set) Score(j int, x []float64) float64 {
 	return sum
 }
 
-// Partition splits the local scenario indices {0..M-1} into z near-equal
-// random groups using a seeded shuffle, per §4.1 ("dividing S randomly into
-// Z disjoint partitions"). The same seed yields the same partition.
-func (s *Set) Partition(z int, seed uint64) [][]int {
-	m := s.M()
+// PartitionIDs splits the scenario indices {0..m-1} into z near-equal random
+// groups using a seeded shuffle, per §4.1 ("dividing S randomly into Z
+// disjoint partitions"). The same (m, z, seed) yields the same partition.
+// It depends only on the scenario count, not on realized values, which is
+// what lets the streamed pipeline partition scenarios it never materialized.
+func PartitionIDs(m, z int, seed uint64) [][]int {
 	if z < 1 {
 		z = 1
 	}
@@ -160,6 +161,13 @@ func (s *Set) Partition(z int, seed uint64) [][]int {
 	return parts
 }
 
+// Partition splits the local scenario indices {0..M-1} into z near-equal
+// random groups using a seeded shuffle, per §4.1. The same seed yields the
+// same partition. It delegates to PartitionIDs.
+func (s *Set) Partition(z int, seed uint64) [][]int {
+	return PartitionIDs(s.M(), z, seed)
+}
+
 // GreedyPick returns the ⌈α·|part|⌉ local scenario indices of part whose
 // scores under the previous solution x are most favourable (§5.3): for a ≥
 // inner constraint (dir == Min) the highest-scoring scenarios keep x
@@ -167,6 +175,22 @@ func (s *Set) Partition(z int, seed uint64) [][]int {
 // With x == nil (no previous solution), the first ⌈α·|part|⌉ scenarios of
 // the partition are used.
 func (s *Set) GreedyPick(part []int, alpha float64, dir Direction, x []float64) []int {
+	var scores map[int]float64
+	if x != nil {
+		scores = make(map[int]float64, len(part))
+		for _, j := range part {
+			scores[j] = s.Score(j, x)
+		}
+	}
+	return Pick(part, alpha, dir, scores)
+}
+
+// Pick is the selection step of GreedyPick factored out of the materialized
+// Set: given precomputed scenario scores (nil when no previous solution
+// exists), it returns the ⌈α·|part|⌉ most favourable indices of part under
+// the same stable ordering GreedyPick uses. Streamed summarization computes
+// scores from a cursor and calls Pick, so both paths order ties identically.
+func Pick(part []int, alpha float64, dir Direction, scores map[int]float64) []int {
 	n := int(math.Ceil(alpha * float64(len(part))))
 	if n <= 0 {
 		return nil
@@ -175,11 +199,7 @@ func (s *Set) GreedyPick(part []int, alpha float64, dir Direction, x []float64) 
 		n = len(part)
 	}
 	chosen := append([]int(nil), part...)
-	if x != nil {
-		scores := make(map[int]float64, len(part))
-		for _, j := range part {
-			scores[j] = s.Score(j, x)
-		}
+	if scores != nil {
 		sort.SliceStable(chosen, func(a, b int) bool {
 			if dir == Min {
 				return scores[chosen[a]] > scores[chosen[b]] // descending for ≥

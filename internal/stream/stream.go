@@ -1,0 +1,360 @@
+// Package stream is the streaming scenario pipeline: composable block-wise
+// iterators over tuples (TupleIter) and scenario realizations
+// (ScenarioCursor) that replace materialized N×M scenario matrices with
+// constant-memory folds.
+//
+// Two disciplines make the pipeline exact, not approximate:
+//
+//   - Predicate pushdown. WHERE-clause predicates evaluate against
+//     deterministic attributes block-by-block *before* any scenario is
+//     generated (Filter/MaskOf), so filtered tuples never cost a single
+//     realization — the "filter before you realize" rule.
+//
+//   - Coordinate purity. Every realization is a pure function of its
+//     (attr, tuple, scenario) coordinate: substream seeds are derived by
+//     the same splittable-hash scheme as rng.Source.Split, keyed by the
+//     base tuple index (views remap through relation's OrigIndex). A value
+//     therefore does not depend on generation order, block size, or worker
+//     count, which is what keeps streamed summaries bit-identical to the
+//     materialized path.
+//
+// The cursor's folds replicate the materialized arithmetic operation for
+// operation (same per-tuple term order as translate.ExprRealize, same fold
+// order as scenario.Set.Summarize, same skip rule as Set.Score), so
+// streamed ≡ materialized holds exactly, for every worker count.
+package stream
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"spq/internal/par"
+	"spq/internal/relation"
+	"spq/internal/rng"
+	"spq/internal/scenario"
+)
+
+// DefaultBlockSize is the tuple-block granularity used when a caller does
+// not choose one: big enough to amortize per-block accounting, small enough
+// that a block of one column is a few KiB resident.
+const DefaultBlockSize = 1024
+
+// Pipeline-wide counters, exported through Counters for the engine's
+// /metrics and /stats surfaces.
+var (
+	blocksGenerated  atomic.Int64
+	valuesGenerated  atomic.Int64
+	pushdownKept     atomic.Int64
+	pushdownFiltered atomic.Int64
+)
+
+// CountersSnapshot reports the cumulative pipeline counters.
+type CountersSnapshot struct {
+	// BlocksGenerated counts tuple blocks realized by scenario cursors.
+	BlocksGenerated int64
+	// ValuesGenerated counts individual scenario values realized.
+	ValuesGenerated int64
+	// PushdownKept / PushdownFiltered count tuples that survived / were
+	// eliminated by predicate pushdown before scenario generation.
+	PushdownKept     int64
+	PushdownFiltered int64
+}
+
+// Counters returns the cumulative pipeline counters.
+func Counters() CountersSnapshot {
+	return CountersSnapshot{
+		BlocksGenerated:  blocksGenerated.Load(),
+		ValuesGenerated:  valuesGenerated.Load(),
+		PushdownKept:     pushdownKept.Load(),
+		PushdownFiltered: pushdownFiltered.Load(),
+	}
+}
+
+// TupleIter iterates the deterministic attributes of a relation in fixed-size
+// tuple blocks without promoting lazy columns: each Next yields the half-open
+// tuple range and one reused value slice per requested attribute. It is the
+// scan operator predicate pushdown runs on.
+type TupleIter struct {
+	rel   *relation.Relation
+	attrs []string
+	block int
+	pos   int
+	cols  [][]float64
+}
+
+// NewTupleIter creates a block iterator over the given deterministic
+// attributes. block ≤ 0 uses DefaultBlockSize. Attribute existence is
+// validated on the first block read (mirroring relation's errors).
+func NewTupleIter(rel *relation.Relation, attrs []string, block int) *TupleIter {
+	if block <= 0 {
+		block = DefaultBlockSize
+	}
+	cols := make([][]float64, len(attrs))
+	for i := range cols {
+		cols[i] = make([]float64, block)
+	}
+	return &TupleIter{rel: rel, attrs: attrs, block: block, cols: cols}
+}
+
+// Next yields the next block: the tuple range [lo, hi) and, per attribute,
+// the values of tuples lo..hi-1. The slices are reused between calls. ok is
+// false when the relation is exhausted.
+func (it *TupleIter) Next() (lo, hi int, cols [][]float64, ok bool, err error) {
+	n := it.rel.N()
+	if it.pos >= n {
+		return n, n, nil, false, nil
+	}
+	lo = it.pos
+	hi = lo + it.block
+	if hi > n {
+		hi = n
+	}
+	for i, a := range it.attrs {
+		it.cols[i] = it.cols[i][:hi-lo]
+		if err := it.rel.DetBlock(a, lo, it.cols[i]); err != nil {
+			return lo, hi, nil, false, err
+		}
+	}
+	it.pos = hi
+	return lo, hi, it.cols, true, nil
+}
+
+// Filter evaluates pred over the deterministic attributes block-by-block and
+// returns the indices of the tuples that survive — predicate pushdown: no
+// scenario value is ever generated for a filtered tuple. pred receives a
+// getter over the named attributes for the current tuple.
+func Filter(rel *relation.Relation, attrs []string, pred func(get func(string) float64) bool, block int) ([]int, error) {
+	kept := []int{}
+	it := NewTupleIter(rel, attrs, block)
+	for {
+		lo, hi, cols, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		keptBefore := len(kept)
+		for t := lo; t < hi; t++ {
+			get := func(a string) float64 {
+				for i, name := range attrs {
+					if name == a {
+						return cols[i][t-lo]
+					}
+				}
+				return 0
+			}
+			if pred(get) {
+				kept = append(kept, t)
+			}
+		}
+		keptHere := len(kept) - keptBefore
+		pushdownKept.Add(int64(keptHere))
+		pushdownFiltered.Add(int64(hi - lo - keptHere))
+	}
+	return kept, nil
+}
+
+// MaskOf evaluates pred block-by-block like Filter but returns an inclusion
+// mask instead of indices (the PaQL general-form aggregate filter shape).
+func MaskOf(rel *relation.Relation, attrs []string, pred func(get func(string) float64) bool, block int) ([]bool, error) {
+	mask := make([]bool, rel.N())
+	it := NewTupleIter(rel, attrs, block)
+	for {
+		lo, hi, cols, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		for t := lo; t < hi; t++ {
+			get := func(a string) float64 {
+				for i, name := range attrs {
+					if name == a {
+						return cols[i][t-lo]
+					}
+				}
+				return 0
+			}
+			mask[t] = pred(get)
+		}
+	}
+	return mask, nil
+}
+
+// Term is one coefficient·attribute term of a linear inner function.
+type Term struct {
+	Coef float64
+	Attr string
+}
+
+// ScenarioCursor produces scenario realizations of one linear inner function
+// Const + Σ Coef·Attr block-wise, never holding more than one tuple block of
+// values. Tuples excluded by Mask realize as exactly 0.0, matching the
+// materialized path's applyMask. A cursor is immutable and safe for
+// concurrent use.
+type ScenarioCursor struct {
+	// Name labels summaries produced by the cursor (the constraint name).
+	Name  string
+	Src   rng.Source
+	Rel   *relation.Relation
+	Const float64
+	Terms []Term
+	Mask  []bool
+	// Block is the tuple-block granularity (≤ 0 → DefaultBlockSize).
+	Block int
+}
+
+func (c *ScenarioCursor) block() int {
+	if c.Block <= 0 {
+		return DefaultBlockSize
+	}
+	return c.Block
+}
+
+// value realizes the inner function for one (tuple, scenario) coordinate
+// with the exact term order of translate.ExprRealize: start from Const, add
+// Coef·attr term by term.
+func (c *ScenarioCursor) value(tuple, scen int) (float64, error) {
+	if c.Mask != nil && !c.Mask[tuple] {
+		return 0, nil
+	}
+	v := c.Const
+	for _, t := range c.Terms {
+		av, err := c.Rel.Value(c.Src, t.Attr, tuple, scen)
+		if err != nil {
+			return 0, err
+		}
+		v += t.Coef * av
+	}
+	return v, nil
+}
+
+// Summarize folds the α-summary of the chosen absolute scenario IDs directly
+// off the cursor: tuple-major, block-wise, Θ(N) output and one block of
+// state, with the identical fold order to scenario.Set.Summarize (initialize
+// from chosen[0], then compare chosen[1:] in order). accel has the same
+// meaning as there. The result is bit-identical to summarizing a
+// materialized set for every worker count.
+func (c *ScenarioCursor) Summarize(ctx context.Context, chosen []int, dir scenario.Direction, accel []bool, workers int) (*scenario.Summary, error) {
+	n := c.Rel.N()
+	out := &scenario.Summary{Attr: c.Name, Values: make([]float64, n), Chosen: append([]int(nil), chosen...)}
+	bs := c.block()
+	err := par.Ranges(ctx, n, workers, func(_, shardLo, shardHi int) error {
+		for lo := shardLo; lo < shardHi; lo += bs {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			hi := lo + bs
+			if hi > shardHi {
+				hi = shardHi
+			}
+			for i := lo; i < hi; i++ {
+				d := dir
+				if accel != nil && accel[i] {
+					d = d.Opposite()
+				}
+				v, err := c.value(i, chosen[0])
+				if err != nil {
+					return err
+				}
+				for _, j := range chosen[1:] {
+					w, err := c.value(i, j)
+					if err != nil {
+						return err
+					}
+					if (d == Min && w < v) || (d == Max && w > v) {
+						v = w
+					}
+				}
+				out.Values[i] = v
+			}
+			blocksGenerated.Add(1)
+			valuesGenerated.Add(int64((hi - lo) * len(chosen)))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Local aliases keep the fold conditions textually identical to the
+// materialized implementation.
+const (
+	Min = scenario.Min
+	Max = scenario.Max
+)
+
+// Scores computes the scenario scores Σ_i s_ij·x_i for the given absolute
+// scenario IDs (aligned with ids), realizing only the tuples with x_i ≠ 0 —
+// the same skip rule, tuple order, and accumulation order as
+// scenario.Set.Score, so greedy selection orders scenarios identically to
+// the materialized path.
+func (c *ScenarioCursor) Scores(ctx context.Context, ids []int, x []float64, workers int) ([]float64, error) {
+	scores := make([]float64, len(ids))
+	var pkg []int
+	for i, xi := range x {
+		if xi != 0 {
+			pkg = append(pkg, i)
+		}
+	}
+	err := par.Ranges(ctx, len(ids), workers, func(_, lo, hi int) error {
+		for k := lo; k < hi; k++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			sum := 0.0
+			for _, i := range pkg {
+				v, err := c.value(i, ids[k])
+				if err != nil {
+					return err
+				}
+				sum += v * x[i]
+			}
+			scores[k] = sum
+		}
+		if hi > lo {
+			valuesGenerated.Add(int64((hi - lo) * len(pkg)))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return scores, nil
+}
+
+// ScoreMap is Scores keyed by scenario ID, the shape scenario.Pick consumes.
+func (c *ScenarioCursor) ScoreMap(ctx context.Context, ids []int, x []float64, workers int) (map[int]float64, error) {
+	scores, err := c.Scores(ctx, ids, x, workers)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]float64, len(ids))
+	for k, id := range ids {
+		out[id] = scores[k]
+	}
+	return out, nil
+}
+
+// Realize fills out (length N) with the realized inner-function values of
+// one scenario, applying the cursor's mask — the row shape FormulateSAA
+// consumes, provided for parity tests and spot checks.
+func (c *ScenarioCursor) Realize(scen int, out []float64) error {
+	if len(out) != c.Rel.N() {
+		return fmt.Errorf("stream: output slice length %d, want %d", len(out), c.Rel.N())
+	}
+	for i := range out {
+		v, err := c.value(i, scen)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+	}
+	valuesGenerated.Add(int64(len(out)))
+	return nil
+}

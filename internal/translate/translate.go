@@ -25,6 +25,7 @@ import (
 	"spq/internal/rng"
 	"spq/internal/scenario"
 	"spq/internal/spaql"
+	"spq/internal/stream"
 )
 
 // LinearCon is a deterministic or expectation constraint in per-tuple
@@ -226,18 +227,17 @@ func Build(q *spaql.Query, rel *relation.Relation, o *Options) (*SILP, error) {
 		return nil, err
 	}
 	if q.Where != nil {
+		// Predicate pushdown: scan the referenced deterministic columns
+		// block-by-block (no promotion of lazy columns, no scenario
+		// generation) and gather only the surviving tuples into the view.
 		attrs := q.Where.Attrs(nil)
-		cols := make(map[string][]float64, len(attrs))
-		for _, a := range attrs {
-			col, err := rel.Det(a)
-			if err != nil {
-				return nil, err
-			}
-			cols[a] = col
+		kept, err := stream.Filter(rel, attrs, func(get func(string) float64) bool {
+			return q.Where.Eval(get)
+		}, 0)
+		if err != nil {
+			return nil, err
 		}
-		rel = rel.Select(func(tuple int) bool {
-			return q.Where.Eval(func(a string) float64 { return cols[a][tuple] })
-		})
+		rel = rel.SelectIndices(kept)
 	}
 	n := rel.N()
 	if n == 0 {
@@ -246,25 +246,12 @@ func Build(q *spaql.Query, rel *relation.Relation, o *Options) (*SILP, error) {
 	s := &SILP{Query: q, Rel: rel, N: n}
 
 	// filterMask evaluates a PaQL general-form aggregate filter over the
-	// (already WHERE-filtered) relation's deterministic columns.
+	// (already WHERE-filtered) relation's deterministic columns, block-wise.
 	filterMask := func(f spaql.BoolExpr) ([]bool, error) {
 		if f == nil {
 			return nil, nil
 		}
-		attrs := f.Attrs(nil)
-		cols := make(map[string][]float64, len(attrs))
-		for _, a := range attrs {
-			col, err := rel.Det(a)
-			if err != nil {
-				return nil, err
-			}
-			cols[a] = col
-		}
-		mask := make([]bool, n)
-		for i := 0; i < n; i++ {
-			mask[i] = f.Eval(func(a string) float64 { return cols[a][i] })
-		}
-		return mask, nil
+		return stream.MaskOf(rel, f.Attrs(nil), f.Eval, 0)
 	}
 
 	for i, c := range q.Constraints {
@@ -600,6 +587,42 @@ func (s *SILP) GenerateSetsP(ctx context.Context, src rng.Source, first, m, work
 		}
 	}
 	return sets, objSet, nil
+}
+
+// cursorFor binds one inner-function expression to a streaming cursor.
+func (s *SILP) cursorFor(name string, src rng.Source, e spaql.LinExpr, mask []bool, block int) *stream.ScenarioCursor {
+	terms := make([]stream.Term, len(e.Terms))
+	for i, t := range e.Terms {
+		terms[i] = stream.Term{Coef: t.Coef, Attr: t.Attr}
+	}
+	return &stream.ScenarioCursor{
+		Name:  name,
+		Src:   src,
+		Rel:   s.Rel,
+		Const: e.Const,
+		Terms: terms,
+		Mask:  mask,
+		Block: block,
+	}
+}
+
+// ConsCursor returns a streaming scenario cursor for probabilistic
+// constraint k: realizations are produced block-wise on demand instead of
+// materialized into a scenario set, and are bit-identical to the rows
+// GenerateSetsP would build (same coordinates, same term order, same mask
+// semantics). block ≤ 0 uses the stream default.
+func (s *SILP) ConsCursor(k int, src rng.Source, block int) *stream.ScenarioCursor {
+	pc := &s.ProbCons[k]
+	return s.cursorFor(pc.Name, src, pc.Expr, pc.Mask, block)
+}
+
+// ObjCursor returns the streaming cursor for a probability objective's inner
+// function, or nil when the objective is not probabilistic.
+func (s *SILP) ObjCursor(src rng.Source, block int) *stream.ScenarioCursor {
+	if s.ObjKind != ObjProbability {
+		return nil
+	}
+	return s.cursorFor("objective", src, s.ObjExpr, s.ObjMask, block)
 }
 
 // ExtendSets appends m more scenarios to previously generated sets.

@@ -138,6 +138,39 @@ func NewRelation(name string, n int) *Relation { return relation.New(name, n) }
 // column names, numeric values).
 func ReadCSV(name string, r io.Reader) (*Relation, error) { return relation.ReadCSV(name, r) }
 
+// BlockCache is a bounded LRU over fixed-size column blocks, shared by lazy
+// columns whose files cannot be memory-mapped.
+type BlockCache = relation.BlockCache
+
+// NewBlockCache builds a private block cache holding up to maxBlocks blocks
+// of blockVals float64s each, for callers who want per-relation isolation
+// instead of the process-wide cache.
+func NewBlockCache(blockVals, maxBlocks int) *BlockCache {
+	return relation.NewBlockCache(blockVals, maxBlocks)
+}
+
+// SpillCSV streams a CSV into per-column files under dir and returns a
+// relation whose deterministic columns load lazily from those files — the
+// out-of-core path for catalogs too large to hold on the heap. Pass a nil
+// cache to share the process-wide block cache (see ConfigureBlockCache).
+func SpillCSV(name string, r io.Reader, dir string, cache *BlockCache) (*Relation, error) {
+	return relation.SpillCSV(name, r, dir, cache)
+}
+
+// OpenColumnDir reopens a relation previously spilled with SpillCSV without
+// re-reading the CSV.
+func OpenColumnDir(dir string, cache *BlockCache) (*Relation, error) {
+	return relation.OpenColumnDir(dir, cache)
+}
+
+// ConfigureBlockCache resizes the process-wide block cache that lazy columns
+// read through when their files cannot be memory-mapped: capacity is
+// maxBlocks blocks of blockVals float64s (the default is 256 × 2048 values =
+// 4 MiB). It only affects relations opened afterwards.
+func ConfigureBlockCache(blockVals, maxBlocks int) {
+	relation.ConfigureBlockCache(blockVals, maxBlocks)
+}
+
 // NewSource creates a root randomness source for scenario generation.
 func NewSource(seed uint64) Source { return rng.NewSource(seed) }
 
