@@ -473,3 +473,28 @@ type StatsJobs struct {
 	JobsCancelled int64 `json:"jobs_cancelled"`
 	JobsEvicted   int64 `json:"jobs_evicted"`
 }
+
+// DeltaRequest is the body of POST /v1/tables/{name}/deltas: a batch
+// mutation of a registered table. Set patches deterministic-column cells
+// (tuple indices key the inner map; JSON renders them as strings), Delete
+// removes tuples, Append adds rows at the end (each row must supply every
+// deterministic column). The order of application is set → delete → append.
+type DeltaRequest struct {
+	Set    map[string]map[int]float64 `json:"set,omitempty"`
+	Delete []int                      `json:"delete,omitempty"`
+	Append []map[string]float64       `json:"append,omitempty"`
+}
+
+// DeltaResponse reports what a delta changed: the version bracket and the
+// change footprint downstream caches invalidate by.
+type DeltaResponse struct {
+	Table       string `json:"table"`
+	FromVersion uint64 `json:"from_version"`
+	Version     uint64 `json:"version"`
+	// Cols lists deterministic columns with patched cells; TuplesSet counts
+	// the distinct tuples they touched.
+	Cols      []string `json:"cols,omitempty"`
+	TuplesSet int      `json:"tuples_set,omitempty"`
+	Appended  int      `json:"appended,omitempty"`
+	Deleted   bool     `json:"deleted,omitempty"`
+}

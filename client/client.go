@@ -269,6 +269,17 @@ func (c *Client) Cancel(ctx context.Context, id string) (*Job, error) {
 	return &job, nil
 }
 
+// ApplyDelta applies a batch mutation to a registered table
+// (POST /v1/tables/{name}/deltas) and returns the change footprint. A
+// read-only server rejects it with CodeMethodNotAllowed.
+func (c *Client) ApplyDelta(ctx context.Context, table string, req *DeltaRequest) (*DeltaResponse, error) {
+	var out DeltaResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/tables/"+url.PathEscape(table)+"/deltas", nil, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // poll is one GET with the long-poll and incremental-events parameters.
 func (c *Client) poll(ctx context.Context, id string, since int, wait time.Duration) (*Job, error) {
 	q := url.Values{}

@@ -83,6 +83,9 @@ type config struct {
 	logFormat string
 	slowQuery time.Duration
 	pprofAddr string
+
+	readOnly bool
+	deltaLog int
 }
 
 func main() {
@@ -111,6 +114,8 @@ func main() {
 	flag.StringVar(&cfg.logFormat, "log-format", "text", "log format for structured events: \"text\" or \"json\" (one object per line)")
 	flag.DurationVar(&cfg.slowQuery, "slow-query", 0, "log queries slower than this threshold with their full span tree (0 disables)")
 	flag.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this separate address (empty disables; bind it privately)")
+	flag.BoolVar(&cfg.readOnly, "read-only", false, "reject table mutations (POST /v1/tables/{name}/deltas answers 405); run workers read-only so mutations funnel through the coordinator")
+	flag.IntVar(&cfg.deltaLog, "delta-log", 0, "change sets retained per relation for delta-scoped cache invalidation (0 = 64; older versions rebuild wholesale)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -227,6 +232,12 @@ func run(cfg config) error {
 	if cfg.cacheBlocks > 0 {
 		relation.ConfigureBlockCache(2048, cfg.cacheBlocks)
 	}
+	if cfg.deltaLog < 0 {
+		return errors.New("-delta-log must be >= 0")
+	}
+	if cfg.deltaLog > 0 {
+		relation.SetDeltaLogCap(cfg.deltaLog)
+	}
 
 	eopts := &engine.Options{
 		MaxInFlight:          cfg.maxInFlight,
@@ -238,6 +249,7 @@ func run(cfg config) error {
 		MaxJobs:              cfg.maxJobs,
 		MaxResidentScenarios: cfg.maxResident,
 		JobHistory:           cfg.jobHistory,
+		ReadOnly:             cfg.readOnly,
 		Logger:               logger,
 		SlowQuery:            cfg.slowQuery,
 	}

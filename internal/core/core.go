@@ -95,6 +95,21 @@ type Options struct {
 	// invoke it concurrently. It observes the evaluation without influencing
 	// it, so it is excluded from Key().
 	Progress func(Progress)
+	// CollectWarm asks the evaluation to retain the warm-start state of the
+	// accepting CSA solve on Solution.Warm so a later delta re-solve can skip
+	// straight to a patched formulation. Purely additive (it never changes
+	// the solution), so it is excluded from Key().
+	CollectWarm bool
+	// Warm, when non-nil, attempts the delta re-solve fast path before the
+	// cold Algorithm-2 loop: patch the previous accepted formulation's
+	// summaries at Warm.Touched, re-solve seeded with the previous package
+	// and root basis, and accept if the result validates feasible within ε.
+	// A warm solve that does not reach an acceptable solution falls back to
+	// the cold path, whose result is bit-identical to an evaluation without
+	// Warm. Excluded from Key(); callers caching warm results must account
+	// for the weaker identity themselves (the engine marks them
+	// non-replicable).
+	Warm *WarmStart
 }
 
 func (o *Options) withDefaults() Options {
@@ -238,6 +253,14 @@ type Solution struct {
 	BoundFlips   int
 	PresolveRows int
 	PresolveCols int
+	// WarmResolve reports that this solution came from the Options.Warm
+	// delta fast path (a patched re-solve of a previous formulation) rather
+	// than the cold Algorithm-2 loop.
+	WarmResolve bool
+	// Warm holds the reusable warm-start state of the accepting solve when
+	// Options.CollectWarm was set; nil otherwise. Never serialized: bases
+	// and summaries are process-local.
+	Warm *WarmStart `json:"-"`
 }
 
 // HitLimit reports whether the evaluation was cut short by a wall-clock or
@@ -295,6 +318,11 @@ type runner struct {
 	boundFlips   int
 	presolveRows int
 	presolveCols int
+
+	// warm is the most recent CSA solve's reusable warm-start state, kept
+	// only under Options.CollectWarm; finish attaches it to the returned
+	// solution when the accepted package is the one it was collected for.
+	warm *WarmStart
 }
 
 func newRunner(ctx context.Context, silp *translate.SILP, o *Options) *runner {
@@ -422,5 +450,11 @@ func (r *runner) finish(sol *Solution) *Solution {
 	sol.BoundFlips = r.boundFlips
 	sol.PresolveRows = r.presolveRows
 	sol.PresolveCols = r.presolveCols
+	// Attach the collected warm-start state only when the returned package
+	// is the one the accepting CSA solve produced (a best-effort solution
+	// from an earlier iteration would not match its formulation).
+	if r.warm != nil && sol.Feasible && sameX(sol.X, r.warm.X) {
+		sol.Warm = r.warm
+	}
 	return sol
 }

@@ -269,7 +269,9 @@ func (r *runner) csaSolve(bk *scenarioBank, x0 []float64, mCount, zCount int, it
 			return nil, err
 		}
 		solveStart := time.Now()
-		res, err := r.solveMILP("csa", model, r.solverOptions(nil))
+		solveOpts := r.solverOptions(nil)
+		solveOpts.WantRootBasis = r.opts.CollectWarm
+		res, err := r.solveMILP("csa", model, solveOpts)
 		if err != nil {
 			return nil, fmt.Errorf("core: CSA solve (M=%d, Z=%d): %w", mCount, zCount, err)
 		}
@@ -304,6 +306,19 @@ func (r *runner) csaSolve(bk *scenarioBank, x0 []float64, mCount, zCount int, it
 			continue
 		}
 		x = vm.PackageOf(res.X)
+		if r.opts.CollectWarm {
+			// Remember this solve's formulation and basis: if x validates
+			// feasible next iteration and is the accepted package, finish
+			// attaches it as the result's warm-start state.
+			r.warm = &WarmStart{
+				X:            append([]float64(nil), x...),
+				Summaries:    summaries,
+				ObjSummaries: objSummaries,
+				Basis:        res.RootBasis,
+				M:            mCount,
+				Z:            zCount,
+			}
+		}
 	}
 	return best, nil
 }

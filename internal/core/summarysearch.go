@@ -79,12 +79,27 @@ func SummarySearch(silp *translate.SILP, o *Options) (*Solution, error) {
 // result, which is the behaviour a query server wants.
 func SummarySearchCtx(ctx context.Context, silp *translate.SILP, o *Options) (*Solution, error) {
 	r := newRunner(ctx, silp, o)
+
+	var iters []Iteration
+
+	// Delta re-solve fast path (Options.Warm): patch the previous accepted
+	// formulation and re-solve warm. Any miss — stale shape, unsolvable,
+	// validation-infeasible — falls through to the cold loop below.
+	if r.opts.Warm != nil {
+		sol, err := r.tryWarm(&iters)
+		if err != nil {
+			return nil, err
+		}
+		if sol != nil {
+			sol.Iterations = iters
+			return r.finish(sol), nil
+		}
+	}
+
 	x0, err := r.solveUnconstrained()
 	if err != nil {
 		return nil, err
 	}
-
-	var iters []Iteration
 
 	// A query with no probabilistic component reduces to the deterministic
 	// package query: x(0) is the answer.

@@ -136,6 +136,10 @@ type Options struct {
 	// RemoteStats, when non-nil, is snapshotted into the remote_* Stats
 	// fields (set by daemons that registered a remote solver).
 	RemoteStats func() remote.Stats
+	// ReadOnly disables the mutation surface: POST /v1/tables/{name}/deltas
+	// answers 405 and Engine.ApplyDelta fails. Workers in a fleet should run
+	// read-only so every mutation funnels through the coordinator.
+	ReadOnly bool
 	// Logger, when non-nil, receives the engine's structured events — today
 	// the slow-query log (see SlowQuery).
 	Logger *obs.Logger
@@ -307,13 +311,19 @@ func (c *lruCache) drop(key string) {
 
 func (c *lruCache) len() int { return c.ll.Len() }
 
-// plan is one cached prepared query.
+// plan is one cached prepared query. The SILP is lowered over an immutable
+// snapshot of the table, so a delta applied mid-evaluation cannot mix
+// post-delta values into an admitted solve.
 type plan struct {
 	key        string
 	query      *spaql.Query
 	silp       *translate.SILP
 	table      *relation.Relation // registered base relation the plan was built against
 	relVersion uint64
+	// attrs is the query's column footprint (spaql.Query.Attrs): a delta
+	// whose change set misses it (and changes no membership) retains the
+	// plan across versions.
+	attrs []string
 }
 
 // cachedResult is one result-cache entry's in-process value: a fully
@@ -413,6 +423,29 @@ type Stats struct {
 	ColCacheMisses   int64 `json:"colcache_misses"`
 	ColCacheEvicted  int64 `json:"colcache_evictions"`
 	ColCacheResident int64 `json:"colcache_resident_bytes"`
+	// Delta-maintenance counters. DeltasApplied counts mutations accepted by
+	// the engine's delta surface; ResultsRetained/ResultsInvalidated split
+	// the cached results revalidated after a delta by whether the change
+	// footprint missed them (retained, served unchanged) or hit them
+	// (dropped, possibly leaving a warm-start hint); PlansRebased counts
+	// cached plans carried across versions the same way; WarmResolves counts
+	// queries answered by the warm re-solve fast path. The relation-level
+	// counters (cells patched, partitionings retained/patched/rebuilt, stale
+	// view rejections, summary tuples patched/reused) are process-wide.
+	DeltasApplied      int64 `json:"deltas_applied"`
+	DeltaCells         int64 `json:"delta_cells_patched"`
+	ResultsRetained    int64 `json:"results_retained_after_delta"`
+	ResultsInvalidated int64 `json:"results_invalidated_after_delta"`
+	PlansRebased       int64 `json:"plans_rebased_after_delta"`
+	WarmResolves       int64 `json:"warm_resolves"`
+	PartsRetained      int64 `json:"partitions_retained"`
+	PartsPatched       int64 `json:"partitions_patched"`
+	PartsRebuilt       int64 `json:"partitions_rebuilt"`
+	ShardsRebuilt      int64 `json:"shards_rebuilt"`
+	ShardsRetained     int64 `json:"shards_retained"`
+	StaleViews         int64 `json:"stale_views"`
+	SummariesPatched   int64 `json:"summary_tuples_patched"`
+	SummariesReused    int64 `json:"summary_tuples_reused"`
 	// Result-cache replication counters, present only when the engine runs
 	// a Replicating store (see internal/resultcache): entries pushed to
 	// peers, accepted from peers, failed deliveries, and local pushes
@@ -444,6 +477,9 @@ type Engine struct {
 
 	mu    sync.Mutex
 	plans *lruCache
+	// warmHints holds warm-start state salvaged from result-cache entries a
+	// delta invalidated, keyed by result key; bounded (see maxWarmHints).
+	warmHints map[string]*warmHint
 
 	// results is nil when result caching is disabled. wantWire reports
 	// whether the store replicates (implements Counters), in which case
@@ -496,9 +532,24 @@ func New(cat Catalog, o *Options) *Engine {
 // version counter moved (e.g. re-registered data or recomputed means).
 func (e *Engine) prepare(q *spaql.Query, key string) (*plan, bool, error) {
 	if p := e.planGet(key); p != nil {
-		if rel, ok := e.cat.Table(p.query.Table); ok && rel == p.table && rel.Version() == p.relVersion {
-			e.m.planHits.Inc()
-			return p, true, nil
+		if rel, ok := e.cat.Table(p.query.Table); ok && rel == p.table {
+			if rel.Version() == p.relVersion {
+				e.m.planHits.Inc()
+				return p, true, nil
+			}
+			// The relation moved past the plan. Retain it anyway when the
+			// merged delta footprint misses the query's columns and changed
+			// no membership: re-translating would reproduce the plan
+			// bound-for-bound (the pinned snapshot still reads the same
+			// values for every column the query touches).
+			if cs, have := rel.Changes(p.relVersion); have && !cs.MembershipChanged() && !cs.Touches(p.attrs) {
+				np := *p
+				np.relVersion = cs.To
+				e.planPut(&np)
+				e.m.plansRebased.Inc()
+				e.m.planHits.Inc()
+				return &np, true, nil
+			}
 		}
 		e.planDrop(key)
 	}
@@ -508,12 +559,15 @@ func (e *Engine) prepare(q *spaql.Query, key string) (*plan, bool, error) {
 	if !ok {
 		return nil, false, fmt.Errorf("engine: unknown table %q", q.Table)
 	}
-	version := rel.Version()
-	silp, err := translate.Build(q, rel, nil)
+	// Pin an immutable snapshot: concurrent deltas replace the base
+	// relation's columns copy-on-write, so the admitted evaluation keeps
+	// reading the pre-delta state (substream identity included) end to end.
+	snap := rel.Snapshot()
+	silp, err := translate.Build(q, snap, nil)
 	if err != nil {
 		return nil, false, err
 	}
-	p := &plan{key: key, query: q, silp: silp, table: rel, relVersion: version}
+	p := &plan{key: key, query: q, silp: silp, table: rel, relVersion: snap.Version(), attrs: q.Attrs()}
 	e.planPut(p)
 	return p, false, nil
 }
@@ -559,8 +613,9 @@ func (e *Engine) prepareSolve(q *spaql.Query, spec *client.SolveSpec) (*plan, er
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown table %q", q.Table)
 	}
-	version := rel.Version()
-	n := rel.N()
+	snap := rel.Snapshot() // pin: deltas must not shift an admitted sub-solve
+	version := snap.Version()
+	n := snap.N()
 	if len(spec.Subset) == 0 {
 		return nil, errors.New("engine: solve spec has an empty subset")
 	}
@@ -573,7 +628,7 @@ func (e *Engine) prepareSolve(q *spaql.Query, spec *client.SolveSpec) (*plan, er
 		prev = t
 		member[t] = true
 	}
-	sub := rel.Select(func(t int) bool { return member[t] })
+	sub := snap.Select(func(t int) bool { return member[t] })
 	silp, err := translate.Build(q, sub, nil)
 	if err != nil {
 		return nil, err
@@ -627,23 +682,51 @@ func (e *Engine) resultGet(key string) *cachedResult {
 		e.m.resultMisses.Inc()
 		return nil
 	}
-	if rel, live := e.cat.Table(ent.Table); live && rel.Version() == ent.Version {
+	if rel, live := e.cat.Table(ent.Table); live {
 		if cr, isLocal := ent.Local.(*cachedResult); isLocal {
 			// The identity check (not just name+version) guards against a
 			// different relation re-registered under the same name whose
 			// fresh version counter happens to coincide.
 			if cr.table == rel {
+				if rel.Version() == ent.Version {
+					e.m.resultHits.Inc()
+					return cr
+				}
+				// The relation moved past the entry. Retain it when the
+				// merged delta footprint misses the query's columns and
+				// changed no membership: the solution provably cannot
+				// differ, so the entry is rebased to the new version. The
+				// rebased entry is marked Remote so it never re-replicates
+				// (peers revalidate against their own catalogs). Tuples in
+				// the rendered package read from the admitted snapshot,
+				// whose query-relevant columns are identical by
+				// construction.
+				if cs, have := rel.Changes(ent.Version); have && !cs.MembershipChanged() && !cs.Touches(cr.query.Attrs()) {
+					e.results.Put(key, &resultcache.Entry{
+						Table: ent.Table, Version: cs.To,
+						Local: cr, Wire: ent.Wire, Remote: true,
+					})
+					e.m.resultsRetained.Inc()
+					e.m.resultHits.Inc()
+					return cr
+				}
+				// Invalidated for real — but the dying entry may carry the
+				// previous evaluation's warm-start state. Stash it so the
+				// re-solve of the same request can start from the previous
+				// package, summaries, and root basis instead of cold.
+				e.stashWarm(key, cr)
+				e.m.resultsInvalidated.Inc()
+			}
+		} else if rel.Version() == ent.Version {
+			if cr := e.materialize(ent); cr != nil {
+				e.results.Put(key, &resultcache.Entry{
+					Table: ent.Table, Version: ent.Version,
+					Local: cr, Wire: ent.Wire,
+					Remote: true, // a promoted peer entry still never re-replicates
+				})
 				e.m.resultHits.Inc()
 				return cr
 			}
-		} else if cr := e.materialize(ent); cr != nil {
-			e.results.Put(key, &resultcache.Entry{
-				Table: ent.Table, Version: ent.Version,
-				Local: cr, Wire: ent.Wire,
-				Remote: true, // a promoted peer entry still never re-replicates
-			})
-			e.m.resultHits.Inc()
-			return cr
 		}
 	}
 	e.results.Drop(key, ent)
@@ -696,7 +779,13 @@ func (e *Engine) resultPut(key, method string, cr *cachedResult, spec *client.So
 		return
 	}
 	ent := &resultcache.Entry{Table: cr.query.Table, Version: cr.relVersion, Local: cr}
-	if e.wantWire {
+	// A warm re-solve was seeded by node-local state (Options.Warm is
+	// excluded from the result key), so its accepted (M, Z) is not
+	// guaranteed to match what a peer solving the same key cold would reach:
+	// the entry stays node-local (Remote entries never replicate).
+	if cr.sol != nil && cr.sol.WarmResolve {
+		ent.Remote = true
+	} else if e.wantWire {
 		if wire, err := json.Marshal(cacheWire{
 			Query:  cr.query.String(),
 			Method: method,
@@ -897,6 +986,21 @@ func (e *Engine) query(ctx context.Context, req Request) (*Result, error) {
 	}
 	pls.End()
 
+	// Warm re-solve wiring (whole-table core methods only): collect warm
+	// state alongside cacheable results, and consume a hint stashed when a
+	// delta invalidated this request's previous entry. Both are advisory —
+	// neither joins the result key, and a warm solve that fails to validate
+	// falls back to the cold path inside core.
+	if req.Solve == nil && method != "sketch" {
+		opts.CollectWarm = e.results != nil
+		if hint := e.takeWarm(rkey); hint != nil {
+			if w := e.warmStart(hint, p); w != nil {
+				opts.Warm = w
+				sp.SetAttr("warm", "hint")
+			}
+		}
+	}
+
 	solveStart := time.Now()
 	sctx, ss := obs.StartSpan(ctx, method)
 	var sol *core.Solution
@@ -926,6 +1030,9 @@ func (e *Engine) query(ctx context.Context, req Request) (*Result, error) {
 		return nil, err
 	}
 
+	if sol.WarmResolve {
+		e.m.warmResolves.Inc()
+	}
 	e.m.milpSolves.Add(int64(sol.MILPSolves))
 	e.m.milpNodes.Add(int64(sol.MILPNodes))
 	e.m.lpIters.Add(int64(sol.LPIters))
@@ -1011,6 +1118,21 @@ func (e *Engine) Stats() Stats {
 	st.ColCacheMisses = cc.Misses
 	st.ColCacheEvicted = cc.Evictions
 	st.ColCacheResident = cc.ResidentBytes
+	st.DeltasApplied = e.m.deltasApplied.Value()
+	st.ResultsRetained = e.m.resultsRetained.Value()
+	st.ResultsInvalidated = e.m.resultsInvalidated.Value()
+	st.PlansRebased = e.m.plansRebased.Value()
+	st.WarmResolves = e.m.warmResolves.Value()
+	ds := relation.DeltaStats()
+	st.DeltaCells = ds.CellsPatched
+	st.PartsRetained = ds.PartitionsRetained
+	st.PartsPatched = ds.PartitionsPatched
+	st.PartsRebuilt = ds.PartitionsRebuilt
+	st.ShardsRebuilt = ds.ShardsRebuilt
+	st.ShardsRetained = ds.ShardsRetained
+	st.StaleViews = ds.StaleViews
+	st.SummariesPatched = sc.SummaryTuplesPatched
+	st.SummariesReused = sc.SummaryTuplesReused
 	if c, ok := e.results.(interface{ Counters() resultcache.Counters }); ok {
 		rc := c.Counters()
 		st.CacheReplicated = rc.Replicated

@@ -2,8 +2,6 @@ package engine
 
 import (
 	"encoding/json"
-	"errors"
-	"math"
 	"net/http"
 	"strings"
 	"time"
@@ -118,6 +116,9 @@ func (e *Engine) Handler() http.Handler {
 	mux.HandleFunc("/v1/queries:batch", methodsHandler(map[string]http.HandlerFunc{
 		http.MethodPost: e.handleV1Batch,
 	}))
+	mux.HandleFunc("/v1/tables/{name}/deltas", methodsHandler(map[string]http.HandlerFunc{
+		http.MethodPost: e.handleV1Delta,
+	}))
 	mux.HandleFunc("/healthz", methodsHandler(map[string]http.HandlerFunc{
 		http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -201,42 +202,43 @@ func (e *Engine) handleQuery(w http.ResponseWriter, r *http.Request) {
 		e.CancelJob(j.ID())
 		<-j.Done()
 	}
-	res, jerr := j.Result()
-	if jerr != nil {
-		var apiErr *client.Error
-		if !errors.As(jerr, &apiErr) {
-			apiErr = errToWire(jerr)
-		}
+	// Render from the job's wire result, not the engine Result: the wire
+	// form survives trimAfterDelta (a delta may land between job completion
+	// and this read) and already encodes the package against base-relation
+	// tuple indices.
+	wres, apiErr := j.WireResult()
+	if apiErr != nil {
 		writeError(w, apiErr)
+		return
+	}
+	if wres == nil {
+		writeError(w, &client.Error{Code: client.CodeInternal, Message: "job finished without a result", HTTPStatus: http.StatusInternalServerError})
 		return
 	}
 
 	resp := QueryResponse{
-		Feasible:       res.Feasible,
-		Objective:      res.Objective,
-		Surpluses:      res.Surpluses,
-		M:              res.M,
-		Z:              res.Z,
-		PackageSize:    res.PackageSize(),
+		Feasible:       wres.Feasible,
+		Objective:      wres.Objective,
+		EpsUpper:       wres.EpsUpper, // already Inf-scrubbed by resultToWire
+		Surpluses:      wres.Surpluses,
+		M:              wres.M,
+		Z:              wres.Z,
+		PackageSize:    wres.PackageSize,
 		Package:        []PackageTuple{},
-		CacheHit:       res.CacheHit,
-		ResultCacheHit: res.ResultCacheHit,
-		WaitMS:         res.Wait.Milliseconds(),
+		CacheHit:       wres.PlanCacheHit,
+		ResultCacheHit: wres.ResultCacheHit,
+		WaitMS:         wres.WaitMS,
 		TotalMS:        time.Since(start).Milliseconds(),
 	}
-	if res.Sketch != nil {
+	if wres.Sketch != nil {
 		resp.Sketch = &SketchInfo{
-			Groups:     res.Sketch.Groups,
-			Shards:     res.Sketch.Shards,
-			Candidates: res.Sketch.Candidates,
-			FellBack:   res.Sketch.FellBack,
+			Groups:     wres.Sketch.Groups,
+			Shards:     wres.Sketch.Shards,
+			Candidates: wres.Sketch.Candidates,
+			FellBack:   wres.Sketch.FellBack,
 		}
 	}
-	// eps_upper is +Inf when no bound exists; JSON has no Inf, so omit it.
-	if !math.IsInf(res.EpsUpper, 0) && !math.IsNaN(res.EpsUpper) {
-		resp.EpsUpper = res.EpsUpper
-	}
-	for _, pt := range packageOf(res.X, res.Rel) {
+	for _, pt := range wres.Package {
 		resp.Package = append(resp.Package, PackageTuple(pt))
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -140,13 +140,52 @@ func (j *Job) Snapshot(since int) *client.Job {
 	out.Error = j.err
 	j.mu.Unlock()
 
-	if bestX != nil {
+	switch {
+	case bestX != nil:
 		out.BestPackage = packageOf(bestX, bestRel)
-	} else {
+	case out.Result != nil:
+		// A delta trimmed the job's package vector (trimAfterDelta): the
+		// rendered wire result still carries the final package.
+		out.BestFeasible = out.Result.Feasible
+		out.BestObjective = out.Result.Objective
+		out.BestPackage = out.Result.Package
+	default:
 		out.BestFeasible = false
 		out.BestObjective = 0
 	}
 	return out
+}
+
+// trimAfterDelta releases a terminal job's relation-sized state once its
+// table was mutated: the full Solution, the package vector, and — most
+// importantly — the pinned pre-delta snapshot they reference are dropped, so
+// a long job history cannot keep every superseded relation version resident.
+// The rendered wire result (OrigIndex-mapped package tuples, objective,
+// counters) keeps serving polls and the legacy /query shim unchanged.
+func (j *Job) trimAfterDelta(table string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.state.Terminal() || j.wire == nil || j.result == nil {
+		return
+	}
+	if j.result.Query == nil || !strings.EqualFold(j.result.Query.Table, table) {
+		return
+	}
+	j.result = nil
+	j.bestX = nil
+	j.bestRel = nil
+}
+
+// WireResult returns the rendered v1 result and error of a finished job
+// (nil, nil while the job is active). Unlike Result, it survives
+// trimAfterDelta, so it is the accessor response-rendering paths should use.
+func (j *Job) WireResult() (*client.QueryResult, *client.Error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.state.Terminal() {
+		return nil, nil
+	}
+	return j.wire, j.err
 }
 
 // Poll blocks until the job's sequence number exceeds since, the job is

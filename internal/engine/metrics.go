@@ -28,6 +28,14 @@ type engineMetrics struct {
 	sketchQueries *obs.Counter
 	shardSolves   *obs.Counter
 
+	// Delta-maintenance instruments: mutations accepted, cached state
+	// retained vs invalidated by footprint, and warm re-solves served.
+	deltasApplied      *obs.Counter
+	resultsRetained    *obs.Counter
+	resultsInvalidated *obs.Counter
+	plansRebased       *obs.Counter
+	warmResolves       *obs.Counter
+
 	milpSolves     *obs.Counter
 	milpNodes      *obs.Counter
 	lpIters        *obs.Counter
@@ -72,6 +80,11 @@ func newEngineMetrics(e *Engine) *engineMetrics {
 	m.planMisses = r.NewCounter("spq_plan_cache_misses_total", "Plan cache misses.")
 	m.resultHits = r.NewCounter("spq_result_cache_hits_total", "Queries answered from the result cache without solving.")
 	m.resultMisses = r.NewCounter("spq_result_cache_misses_total", "Result cache lookups that found no valid entry.")
+	m.deltasApplied = r.NewCounter("spq_deltas_applied_total", "Relation deltas accepted by the engine's mutation surface.")
+	m.resultsRetained = r.NewCounter("spq_results_retained_after_delta_total", "Cached results rebased across a delta whose footprint missed their query.")
+	m.resultsInvalidated = r.NewCounter("spq_results_invalidated_after_delta_total", "Cached results dropped because a delta's footprint hit their query.")
+	m.plansRebased = r.NewCounter("spq_plans_rebased_after_delta_total", "Cached plans carried across a delta whose footprint missed their query.")
+	m.warmResolves = r.NewCounter("spq_warm_resolves_total", "Queries answered by the warm re-solve fast path (patched summaries + seeded basis).")
 	m.sketchQueries = r.NewCounter("spq_sketch_queries_total", "Method=sketch evaluations.")
 	m.shardSolves = r.NewCounter("spq_sketch_shard_solves_total", "Per-shard sketch solves fanned out by method=sketch queries.")
 	m.milpSolves = r.NewCounter("spq_milp_solves_total", "Branch-and-bound MILP solves run by finished queries.")
@@ -125,6 +138,17 @@ func newEngineMetrics(e *Engine) *engineMetrics {
 	r.NewGaugeFunc("spq_colcache_misses", "Out-of-core column block loads (cache misses).", func() float64 { return float64(relation.CacheStats().Misses) })
 	r.NewGaugeFunc("spq_colcache_evictions", "Out-of-core column blocks evicted from the cache.", func() float64 { return float64(relation.CacheStats().Evictions) })
 	r.NewGaugeFunc("spq_colcache_resident_bytes", "Bytes of out-of-core column blocks currently cached.", func() float64 { return float64(relation.CacheStats().ResidentBytes) })
+	// Delta-maintenance instruments below read the process-wide counters of
+	// the relation and summarization layers at scrape time.
+	r.NewGaugeFunc("spq_delta_cells_patched", "Deterministic column cells patched by applied deltas.", func() float64 { return float64(relation.DeltaStats().CellsPatched) })
+	r.NewGaugeFunc("spq_partitions_retained", "Cached partitionings rebased across a delta untouched (footprint disjoint from the features).", func() float64 { return float64(relation.DeltaStats().PartitionsRetained) })
+	r.NewGaugeFunc("spq_partitions_patched", "Cached partitionings patched shard-wise (only affected shards re-clustered).", func() float64 { return float64(relation.DeltaStats().PartitionsPatched) })
+	r.NewGaugeFunc("spq_partitions_rebuilt", "Partitionings built from scratch.", func() float64 { return float64(relation.DeltaStats().PartitionsRebuilt) })
+	r.NewGaugeFunc("spq_partition_shards_rebuilt", "Shards re-clustered by partitioning patches.", func() float64 { return float64(relation.DeltaStats().ShardsRebuilt) })
+	r.NewGaugeFunc("spq_partition_shards_retained", "Shards carried over unchanged by partitioning patches and rebases.", func() float64 { return float64(relation.DeltaStats().ShardsRetained) })
+	r.NewGaugeFunc("spq_stale_view_errors", "Reads rejected with ErrStaleView (view or partitioning superseded by a delta).", func() float64 { return float64(relation.DeltaStats().StaleViews) })
+	r.NewGaugeFunc("spq_summary_tuples_patched", "Summary tuple folds recomputed by delta patches (the k in kxM).", func() float64 { return float64(stream.Counters().SummaryTuplesPatched) })
+	r.NewGaugeFunc("spq_summary_tuples_reused", "Summary tuple folds reused unchanged by delta patches (the N-k in kxM).", func() float64 { return float64(stream.Counters().SummaryTuplesReused) })
 	if c, ok := e.results.(interface{ Counters() resultcache.Counters }); ok {
 		r.NewGaugeFunc("spq_cache_replicated", "Result-cache entries pushed to peers.", func() float64 { return float64(c.Counters().Replicated) })
 		r.NewGaugeFunc("spq_cache_received", "Result-cache entries accepted from peers.", func() float64 { return float64(c.Counters().Received) })

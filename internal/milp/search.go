@@ -315,10 +315,17 @@ func Solve(m *Model, o *Options) (*Result, error) {
 
 	rootOpts := st.lpOpts
 	rootOpts.WantBasis = true
+	rootOpts.Basis = st.opts.RootBasis
 	rootOpts.Scratch = st.scratch(0).lp
 	rootSol, err := lp.SolveWithBounds(st.red, st.rootLo, st.rootHi, &rootOpts)
 	if err != nil {
 		return nil, err
+	}
+	if rootSol.WarmStarted {
+		st.warmStarts++
+	}
+	if st.opts.WantRootBasis {
+		res.RootBasis = rootSol.Basis
 	}
 	st.nodes = 1
 	st.lpIters = rootSol.Iters

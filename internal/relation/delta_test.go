@@ -1,0 +1,388 @@
+package relation
+
+import (
+	"errors"
+	"testing"
+
+	"spq/internal/dist"
+	"spq/internal/rng"
+)
+
+// deltaRelation builds a mutable base relation with one deterministic
+// column, one broadcast stochastic attribute, and precomputed means.
+func deltaRelation(t *testing.T, n int) *Relation {
+	t.Helper()
+	col := make([]float64, n)
+	for i := range col {
+		col[i] = float64(i)
+	}
+	rel := New("r", n)
+	if err := rel.AddDet("price", col); err != nil {
+		t.Fatal(err)
+	}
+	if err := rel.AddStoch("gain", &IndependentVG{AttrID: 1, Dists: []dist.Dist{dist.Normal{Mu: 1, Sigma: 0.1}}}); err != nil {
+		t.Fatal(err)
+	}
+	rel.ComputeMeans(rng.NewSource(7), 10)
+	return rel
+}
+
+func TestApplyDeltaPatchAndSnapshotIsolation(t *testing.T) {
+	rel := deltaRelation(t, 10)
+	v0 := rel.Version()
+	snap := rel.Snapshot()
+	if snap2 := rel.Snapshot(); snap2 != snap {
+		t.Fatal("Snapshot not memoized between mutations")
+	}
+
+	cs, err := rel.ApplyDelta(&Delta{Set: map[string]map[int]float64{"price": {3: 99, 7: 88}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.From != v0 || cs.To != rel.Version() || cs.To != v0+1 {
+		t.Fatalf("change set versions %d→%d, relation at %d (was %d)", cs.From, cs.To, rel.Version(), v0)
+	}
+	if len(cs.Cols) != 1 || cs.Cols[0] != "price" {
+		t.Fatalf("cols = %v", cs.Cols)
+	}
+	if len(cs.Tuples) != 2 || cs.Tuples[0] != 3 || cs.Tuples[1] != 7 {
+		t.Fatalf("tuples = %v", cs.Tuples)
+	}
+	if cs.MembershipChanged() {
+		t.Fatal("pure patch must not report membership change")
+	}
+
+	// The base sees the new values; the pre-delta snapshot still reads the
+	// old ones (copy-on-write).
+	if v, _ := rel.DetValue("price", 3); v != 99 {
+		t.Fatalf("base price[3] = %v, want 99", v)
+	}
+	if v, _ := snap.DetValue("price", 3); v != 3 {
+		t.Fatalf("snapshot price[3] = %v, want 3 (pre-delta)", v)
+	}
+	if snap.Version() != v0 {
+		t.Fatalf("snapshot version moved to %d", snap.Version())
+	}
+	if !snap.Stale() {
+		t.Fatal("snapshot should report Stale after the delta")
+	}
+	if rel.Snapshot() == snap {
+		t.Fatal("post-delta Snapshot returned the stale snapshot")
+	}
+
+	// Stochastic realizations of the snapshot are unchanged: substream
+	// identity survives.
+	src := rng.NewSource(42)
+	a := make([]float64, 10)
+	b := make([]float64, 10)
+	if err := snap.Realize(src, "gain", 0, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := rel.Snapshot().Realize(src, "gain", 0, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("gain realization diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestApplyDeltaValidation(t *testing.T) {
+	rel := deltaRelation(t, 4)
+	if _, err := rel.ApplyDelta(&Delta{Set: map[string]map[int]float64{"nope": {0: 1}}}); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+	if _, err := rel.ApplyDelta(&Delta{Set: map[string]map[int]float64{"price": {9: 1}}}); err == nil {
+		t.Fatal("out-of-range tuple accepted")
+	}
+	if _, err := rel.ApplyDelta(&Delta{Delete: []int{1, 1}}); err == nil {
+		t.Fatal("duplicate delete accepted")
+	}
+	if _, err := rel.ApplyDelta(&Delta{Append: []map[string]float64{{"wrong": 1}}}); err == nil {
+		t.Fatal("append row missing a column accepted")
+	}
+	if _, err := rel.Snapshot().ApplyDelta(&Delta{}); err == nil {
+		t.Fatal("ApplyDelta on a snapshot accepted")
+	}
+	// A delta that changes nothing must not bump the version.
+	v := rel.Version()
+	cs, err := rel.ApplyDelta(&Delta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cs.Empty() || rel.Version() != v {
+		t.Fatalf("empty delta bumped version %d→%d", v, rel.Version())
+	}
+}
+
+func TestApplyDeltaDeleteAppend(t *testing.T) {
+	rel := deltaRelation(t, 6)
+	snap := rel.Snapshot()
+
+	// Record pre-delta realizations of the survivors.
+	src := rng.NewSource(9)
+	pre := make([]float64, 6)
+	if err := snap.Realize(src, "gain", 3, pre); err != nil {
+		t.Fatal(err)
+	}
+
+	cs, err := rel.ApplyDelta(&Delta{
+		Delete: []int{1, 4},
+		Append: []map[string]float64{{"price": 100}, {"price": 101}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cs.Deleted || cs.Appended != 2 || !cs.MembershipChanged() {
+		t.Fatalf("change set = %+v", cs)
+	}
+	if rel.N() != 6 {
+		t.Fatalf("n = %d, want 6 (6 - 2 + 2)", rel.N())
+	}
+	// Survivors keep original indices: 0,2,3,5 then two appended tuples.
+	wantOrig := []int{0, 2, 3, 5, 6, 7}
+	for i, w := range wantOrig {
+		if rel.OrigIndex(i) != w {
+			t.Fatalf("OrigIndex(%d) = %d, want %d", i, rel.OrigIndex(i), w)
+		}
+	}
+	if v, _ := rel.DetValue("price", 4); v != 100 {
+		t.Fatalf("appended price = %v, want 100", v)
+	}
+	// Survivor substream identity: tuple 2 (was 3) realizes identically.
+	post := make([]float64, 6)
+	if err := rel.Snapshot().Realize(src, "gain", 3, post); err != nil {
+		t.Fatal(err)
+	}
+	if post[2] != pre[3] || post[1] != pre[2] {
+		t.Fatalf("survivor realization changed: %v vs pre %v", post, pre)
+	}
+	// Means extended for the appended tuples via the closed form.
+	m, err := rel.Means("gain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 6 || m[4] != 1 || m[5] != 1 {
+		t.Fatalf("means = %v", m)
+	}
+	// The pre-delta snapshot is untouched.
+	if snap.N() != 6 || snap.OrigIndex(4) != 4 {
+		t.Fatal("snapshot membership changed")
+	}
+}
+
+func TestChangesMergesAndTrims(t *testing.T) {
+	rel := deltaRelation(t, 8)
+	v0 := rel.Version()
+	mustDelta := func(d *Delta) {
+		t.Helper()
+		if _, err := rel.ApplyDelta(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustDelta(&Delta{Set: map[string]map[int]float64{"price": {1: 10}}})
+	mustDelta(&Delta{Set: map[string]map[int]float64{"price": {2: 20}}})
+
+	cs, ok := rel.Changes(v0)
+	if !ok {
+		t.Fatal("Changes unavailable")
+	}
+	if cs.From != v0 || cs.To != rel.Version() {
+		t.Fatalf("merged covers %d→%d", cs.From, cs.To)
+	}
+	if len(cs.Tuples) != 2 || cs.Tuples[0] != 1 || cs.Tuples[1] != 2 {
+		t.Fatalf("merged tuples = %v", cs.Tuples)
+	}
+	// Same-version query returns an empty set.
+	cs, ok = rel.Changes(rel.Version())
+	if !ok || !cs.Empty() {
+		t.Fatalf("same-version Changes = %+v, %v", cs, ok)
+	}
+	// A wholesale mutation severs the history.
+	if err := rel.SetMeans("gain", make([]float64, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rel.Changes(v0); ok {
+		t.Fatal("Changes available across a wholesale mutation")
+	}
+	// And a trimmed log severs older versions.
+	SetDeltaLogCap(2)
+	defer SetDeltaLogCap(64)
+	vw := rel.Version()
+	mustDelta(&Delta{Set: map[string]map[int]float64{"price": {0: 1}}})
+	mustDelta(&Delta{Set: map[string]map[int]float64{"price": {0: 2}}})
+	mustDelta(&Delta{Set: map[string]map[int]float64{"price": {0: 3}}})
+	if _, ok := rel.Changes(vw); ok {
+		t.Fatal("Changes available past the trimmed log")
+	}
+	if _, ok := rel.Changes(rel.Version() - 2); !ok {
+		t.Fatal("Changes unavailable within the log window")
+	}
+}
+
+func TestShardStaleViewError(t *testing.T) {
+	rel := partRelation(t, 128)
+	p, err := rel.Partition(PartitionSpec{Strategy: PartitionRange, Features: []string{"v"}, GroupSize: 16, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rel.Shard(p, 0); err != nil {
+		t.Fatalf("fresh shard read failed: %v", err)
+	}
+	snap := rel.Snapshot()
+	if _, err := rel.ApplyDelta(&Delta{Set: map[string]map[int]float64{"v": {0: 5}}}); err != nil {
+		t.Fatal(err)
+	}
+	// The base moved: reading the old partitioning through it must fail.
+	_, err = rel.Shard(p, 0)
+	if err == nil {
+		t.Fatal("stale shard read accepted")
+	}
+	if !errors.Is(err, ErrStaleView) {
+		t.Fatalf("error %v does not match ErrStaleView", err)
+	}
+	var sve *StaleViewError
+	if !errors.As(err, &sve) || sve.ViewVersion >= sve.BaseVersion {
+		t.Fatalf("structured error = %+v", err)
+	}
+	// The pre-delta snapshot still serves the old partitioning.
+	if _, err := snap.Shard(p, 0); err != nil {
+		t.Fatalf("snapshot shard read failed: %v", err)
+	}
+}
+
+func TestPartitionDeltaRetainAndPatch(t *testing.T) {
+	n := 512
+	col := make([]float64, n)
+	other := make([]float64, n)
+	for i := range col {
+		col[i] = float64(i%16) + 20*float64(i/(n/4)) // 4 well-separated bands
+		other[i] = float64(i)
+	}
+	rel := New("r", n)
+	if err := rel.AddDet("v", col); err != nil {
+		t.Fatal(err)
+	}
+	if err := rel.AddDet("w", other); err != nil {
+		t.Fatal(err)
+	}
+	spec := PartitionSpec{Strategy: PartitionKMeans, Features: []string{"v"}, GroupSize: 32, Shards: 4}
+
+	s0 := rel.Snapshot()
+	p0, err := s0.Partition(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Delta touching a non-feature column: the partitioning is retained
+	// (rebased), not rebuilt.
+	before := DeltaStats()
+	if _, err := rel.ApplyDelta(&Delta{Set: map[string]map[int]float64{"w": {5: -1}}}); err != nil {
+		t.Fatal(err)
+	}
+	s1 := rel.Snapshot()
+	p1, err := s1.Partition(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := DeltaStats()
+	if after.PartitionsRetained != before.PartitionsRetained+1 {
+		t.Fatalf("expected a retained partitioning: %+v -> %+v", before, after)
+	}
+	if p1.Version != s1.Version() {
+		t.Fatalf("rebased partitioning at version %d, want %d", p1.Version, s1.Version())
+	}
+	for i := range p0.GroupOf {
+		if p0.GroupOf[i] != p1.GroupOf[i] {
+			t.Fatal("retained partitioning changed group assignment")
+		}
+	}
+
+	// Delta touching the feature column at a handful of tuples: only the
+	// affected shards rebuild.
+	k := p1.ShardOf[3] // all touched tuples in one shard
+	touched := map[int]float64{}
+	for t2 := 0; t2 < n && len(touched) < 3; t2++ {
+		if p1.ShardOf[t2] == k {
+			touched[t2] = col[t2] + 0.25
+		}
+	}
+	before = DeltaStats()
+	if _, err := rel.ApplyDelta(&Delta{Set: map[string]map[int]float64{"v": touched}}); err != nil {
+		t.Fatal(err)
+	}
+	s2 := rel.Snapshot()
+	p2, err := s2.Partition(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after = DeltaStats()
+	if after.PartitionsPatched != before.PartitionsPatched+1 {
+		t.Fatalf("expected a patched partitioning: %+v -> %+v", before, after)
+	}
+	if got := after.ShardsRebuilt - before.ShardsRebuilt; got != 1 {
+		t.Fatalf("rebuilt %d shards, want exactly the 1 affected", got)
+	}
+	if got := after.ShardsRetained - before.ShardsRetained; got != 3 {
+		t.Fatalf("retained %d shards, want 3", got)
+	}
+	if p2.NumShards() != 4 {
+		t.Fatalf("patched partitioning has %d shards", p2.NumShards())
+	}
+	// Unaffected shards keep their exact groups.
+	for s := 0; s < 4; s++ {
+		if s == k {
+			continue
+		}
+		a, b := p1.ShardGroups[s], p2.ShardGroups[s]
+		if len(a) != len(b) {
+			t.Fatalf("unaffected shard %d group count changed", s)
+		}
+		for i := range a {
+			ga, gb := p1.Groups[a[i]], p2.Groups[b[i]]
+			if len(ga) != len(gb) {
+				t.Fatalf("unaffected shard %d group %d size changed", s, i)
+			}
+			for j := range ga {
+				if ga[j] != gb[j] {
+					t.Fatalf("unaffected shard %d group %d member changed", s, i)
+				}
+			}
+		}
+	}
+	// Every tuple is still covered exactly once.
+	checkCover(t, p2, n)
+
+	// Appends route to a deterministic shard and only that shard rebuilds.
+	before = DeltaStats()
+	if _, err := rel.ApplyDelta(&Delta{Append: []map[string]float64{{"v": 0.5, "w": 999}}}); err != nil {
+		t.Fatal(err)
+	}
+	s3 := rel.Snapshot()
+	p3, err := s3.Partition(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after = DeltaStats()
+	if after.PartitionsPatched != before.PartitionsPatched+1 {
+		t.Fatalf("expected a patched partitioning on append: %+v -> %+v", before, after)
+	}
+	if got := after.ShardsRebuilt - before.ShardsRebuilt; got != 1 {
+		t.Fatalf("append rebuilt %d shards, want 1", got)
+	}
+	checkCover(t, p3, n+1)
+
+	// Deletes force a full rebuild (the index space shifted).
+	before = DeltaStats()
+	if _, err := rel.ApplyDelta(&Delta{Delete: []int{0}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rel.Snapshot().Partition(spec); err != nil {
+		t.Fatal(err)
+	}
+	after = DeltaStats()
+	if after.PartitionsRebuilt != before.PartitionsRebuilt+1 {
+		t.Fatalf("expected a full rebuild after delete: %+v -> %+v", before, after)
+	}
+}

@@ -164,70 +164,323 @@ func (r *Relation) Partition(spec PartitionSpec) (*Partitioning, error) {
 	key := spec.key()
 	gkey := spec.groupKey()
 
-	r.partMu.Lock()
-	version := r.version
-	if p, ok := r.parts[key]; ok && p.Version == version {
-		r.partMu.Unlock()
+	// Snapshots delegate to the base relation's cache: every snapshot of
+	// one version shares the cached partitionings, and partitionings of
+	// older versions stay available as patch sources across epochs.
+	host := r.Base()
+
+	host.partMu.Lock()
+	version := r.Version()
+	if p, ok := host.parts[key]; ok && p.Version == version {
+		host.partMu.Unlock()
 		return p, nil
 	}
-	gs, ok := r.groupSets[gkey]
+	var prev *Partitioning
+	if p, ok := host.parts[key]; ok && p.Version < version {
+		prev = p
+	}
+	gs, ok := host.groupSets[gkey]
 	if !ok || gs.version != version {
 		gs = nil
 	}
-	r.partMu.Unlock()
+	host.partMu.Unlock()
 
-	if gs == nil {
+	var p *Partitioning
+	if gs == nil && prev != nil {
+		// Delta-scoped reuse: a cached partitioning of an older version is
+		// retained (rebased) when the delta footprint is disjoint from the
+		// clustering inputs, or patched (only affected shards re-clustered)
+		// when per-tuple changes are known. Falls through to a full rebuild
+		// when the history is unavailable or the change is structural.
+		if cs, ok := host.Changes(prev.Version); ok && cs.To == version && !cs.Wholesale {
+			p = r.reusePartitioning(prev, spec, cs, version)
+		}
+	}
+	if p == nil {
+		if gs == nil {
+			var err error
+			if gs, err = r.buildGroups(spec, version); err != nil {
+				return nil, err
+			}
+			partsRebuilt.Add(1)
+		}
+		p = assemblePartitioning(spec, gs, r.n)
+	} else {
+		gs = &groupSet{version: version, groupOf: p.GroupOf, groups: p.Groups, medoids: p.Medoids}
+	}
+
+	host.partMu.Lock()
+	defer host.partMu.Unlock()
+	if host.parts == nil {
+		host.parts = map[string]*Partitioning{}
+	}
+	if host.groupSets == nil {
+		host.groupSets = map[string]*groupSet{}
+	}
+	cur := host.Version()
+	// Purge entries that can no longer serve as patch sources (their
+	// version fell off the delta log), then bound both caches (specs are
+	// client-influenced via the engine, so they must not grow unboundedly).
+	for k, v := range host.parts {
+		if v.Version == cur {
+			continue
+		}
+		if _, ok := host.Changes(v.Version); !ok {
+			delete(host.parts, k)
+		}
+	}
+	for k, v := range host.groupSets {
+		if v.version == cur {
+			continue
+		}
+		if _, ok := host.Changes(v.version); !ok {
+			delete(host.groupSets, k)
+		}
+	}
+	if len(host.parts) >= maxCachedPartitionings {
+		clear(host.parts)
+	}
+	if len(host.groupSets) >= maxCachedPartitionings {
+		clear(host.groupSets)
+	}
+	if incumbent, ok := host.parts[key]; ok {
+		if incumbent.Version == version {
+			return incumbent, nil // a concurrent build won the race
+		}
+		if incumbent.Version > version {
+			// A pre-delta snapshot rebuilt for its own (older) version while
+			// the cache already moved on: hand the snapshot its matching
+			// partitioning without clobbering the newer cache entry.
+			return p, nil
+		}
+	}
+	host.parts[key] = p
+	host.groupSets[gkey] = gs
+	return p, nil
+}
+
+// reusePartitioning tries to carry a cached partitioning of an older
+// version forward through a change set: rebased untouched when the
+// footprint misses the clustering inputs, patched shard-wise when only
+// deterministic feature cells changed or tuples were appended. Returns nil
+// when a full rebuild is required.
+func (r *Relation) reusePartitioning(prev *Partitioning, spec PartitionSpec, cs *ChangeSet, version uint64) *Partitioning {
+	featuresTouched := cs.Touches(spec.Features)
+	if !featuresTouched && !cs.MembershipChanged() {
+		np := *prev
+		np.Version = version
+		partsRetained.Add(1)
+		shardsRetained.Add(int64(prev.NumShards()))
+		return &np
+	}
+	if cs.Deleted || cs.Wholesale {
+		return nil // the index space shifted: per-tuple patching is unsound
+	}
+	for _, a := range cs.Attrs {
+		for _, f := range spec.Features {
+			if a == f {
+				return nil // a whole feature column changed (VG replaced)
+			}
+		}
+	}
+	if prev.NumShards() == 0 || len(prev.ShardOf) == 0 {
+		return nil
+	}
+	p, err := r.patchPartitioning(prev, spec, cs, version)
+	if err != nil {
+		return nil
+	}
+	return p
+}
+
+// patchPartitioning re-clusters only the shards whose tuples were touched
+// by the change set (plus the shards that deterministically receive the
+// appended tuples) and splices them into the previous partitioning. The
+// patched result is a valid partitioning of the new version but is not
+// guaranteed to be bit-identical to a cold rebuild — clustering is local to
+// the affected shards, which is the point.
+func (r *Relation) patchPartitioning(prev *Partitioning, spec PartitionSpec, cs *ChangeSet, version uint64) (*Partitioning, error) {
+	numShards := prev.NumShards()
+	prevN := len(prev.ShardOf)
+	affected := make([]bool, numShards)
+	// Tuples whose feature cells changed may belong in a different group.
+	touchesFeatures := cs.Touches(spec.Features)
+	if touchesFeatures {
+		for _, t := range cs.Tuples {
+			if t < prevN {
+				affected[prev.ShardOf[t]] = true
+			}
+		}
+	}
+
+	var features [][]float64
+	if spec.Strategy != PartitionHash {
 		var err error
-		if gs, err = r.buildGroups(spec, version); err != nil {
+		if features, err = r.featureCols(spec.Features); err != nil {
 			return nil, err
 		}
 	}
-	p := assemblePartitioning(spec, gs, r.n)
 
-	r.partMu.Lock()
-	defer r.partMu.Unlock()
-	if r.parts == nil {
-		r.parts = map[string]*Partitioning{}
+	// Route each appended tuple to a shard deterministically: by seeded
+	// index hash for hash partitionings, by nearest medoid (on the current
+	// feature values) otherwise.
+	appendTo := make([][]int, numShards)
+	for t := prevN; t < r.n; t++ {
+		var s int
+		if spec.Strategy == PartitionHash {
+			s = int(rng.Mix(spec.Seed, 0x9a54c1, uint64(t)) % uint64(numShards))
+		} else {
+			best, bestD := 0, math.Inf(1)
+			for g, m := range prev.Medoids {
+				d := 0.0
+				for _, col := range features {
+					diff := col[t] - col[m]
+					d += diff * diff
+				}
+				if d < bestD {
+					best, bestD = g, d
+				}
+			}
+			s = prev.shardOfGroup(best)
+		}
+		affected[s] = true
+		appendTo[s] = append(appendTo[s], t)
 	}
-	if r.groupSets == nil {
-		r.groupSets = map[string]*groupSet{}
+
+	p := &Partitioning{Spec: spec, Version: version}
+	p.ShardGroups = make([][]int, numShards)
+	rebuilt, retained := 0, 0
+	for s := 0; s < numShards; s++ {
+		if !affected[s] {
+			for _, g := range prev.ShardGroups[s] {
+				gid := len(p.Groups)
+				p.Groups = append(p.Groups, prev.Groups[g])
+				p.Medoids = append(p.Medoids, prev.Medoids[g])
+				p.ShardGroups[s] = append(p.ShardGroups[s], gid)
+			}
+			retained++
+			continue
+		}
+		idx := append(prev.ShardTuples(s), appendTo[s]...)
+		sort.Ints(idx)
+		groups, medoids, err := r.regroupSubset(spec, features, idx)
+		if err != nil {
+			return nil, err
+		}
+		for gi, g := range groups {
+			gid := len(p.Groups)
+			p.Groups = append(p.Groups, g)
+			p.Medoids = append(p.Medoids, medoids[gi])
+			p.ShardGroups[s] = append(p.ShardGroups[s], gid)
+		}
+		rebuilt++
 	}
-	// Purge entries of dead versions, then bound both caches (specs are
-	// client-influenced via the engine, so they must not grow unboundedly).
-	for k, v := range r.parts {
-		if v.Version != r.version {
-			delete(r.parts, k)
+	p.GroupOf = make([]int, r.n)
+	p.ShardOf = make([]int, r.n)
+	for s, groups := range p.ShardGroups {
+		for _, g := range groups {
+			for _, t := range p.Groups[g] {
+				p.GroupOf[t] = g
+				p.ShardOf[t] = s
+			}
 		}
 	}
-	for k, v := range r.groupSets {
-		if v.version != r.version {
-			delete(r.groupSets, k)
-		}
-	}
-	if len(r.parts) >= maxCachedPartitionings {
-		clear(r.parts)
-	}
-	if len(r.groupSets) >= maxCachedPartitionings {
-		clear(r.groupSets)
-	}
-	if r.version != version {
-		// The relation mutated while we built: hand back the consistent
-		// snapshot we computed, but do not cache it.
-		return p, nil
-	}
-	if prev, ok := r.parts[key]; ok && prev.Version == version {
-		return prev, nil // a concurrent build won the race
-	}
-	r.parts[key] = p
-	r.groupSets[gkey] = gs
+	partsPatched.Add(1)
+	shardsRebuilt.Add(int64(rebuilt))
+	shardsRetained.Add(int64(retained))
 	return p, nil
+}
+
+// shardOfGroup returns the shard a group id belongs to.
+func (p *Partitioning) shardOfGroup(g int) int {
+	for s, groups := range p.ShardGroups {
+		for _, gg := range groups {
+			if gg == g {
+				return s
+			}
+		}
+	}
+	return 0
+}
+
+// regroupSubset runs the spec's grouping strategy restricted to the given
+// (ascending) tuple indices, returning groups/medoids in the global index
+// space.
+func (r *Relation) regroupSubset(spec PartitionSpec, features [][]float64, idx []int) (groups [][]int, medoids []int, err error) {
+	m := len(idx)
+	if m == 0 {
+		return nil, nil, nil
+	}
+	switch spec.Strategy {
+	case PartitionKMeans:
+		sub := make([][]float64, len(features))
+		for d, col := range features {
+			sc := make([]float64, m)
+			for j, t := range idx {
+				sc[j] = col[t]
+			}
+			sub[d] = sc
+		}
+		_, sg, sm := kmeansGroups(sub, m, spec.GroupSize, spec.KMeansIters, spec.Seed)
+		return mapBack(sg, sm, idx)
+	case PartitionHash:
+		// Hash groups carry no similarity structure: chunk the subset in
+		// index order into τ-sized groups.
+		for start := 0; start < m; start += spec.GroupSize {
+			end := start + spec.GroupSize
+			if end > m {
+				end = m
+			}
+			chunk := make([]int, end-start)
+			for j := start; j < end; j++ {
+				chunk[j-start] = idx[j]
+			}
+			groups = append(groups, chunk)
+			medoids = append(medoids, chunk[0])
+		}
+		return groups, medoids, nil
+	case PartitionRange:
+		sc := make([]float64, m)
+		for j, t := range idx {
+			sc[j] = features[0][t]
+		}
+		_, sg, sm := rangeGroups(sc, m, spec.GroupSize)
+		return mapBack(sg, sm, idx)
+	default:
+		return nil, nil, fmt.Errorf("relation: unknown partition strategy %v", spec.Strategy)
+	}
+}
+
+// mapBack translates subset-local group member and medoid indices to the
+// global tuple index space.
+func mapBack(groups [][]int, medoids []int, idx []int) ([][]int, []int, error) {
+	out := make([][]int, len(groups))
+	for gi, g := range groups {
+		og := make([]int, len(g))
+		for j, t := range g {
+			og[j] = idx[t]
+		}
+		out[gi] = og
+	}
+	om := make([]int, len(medoids))
+	for i, mdx := range medoids {
+		om[i] = idx[mdx]
+	}
+	return out, om, nil
 }
 
 // Shard returns a view of the tuples in one shard of the partitioning,
 // reusing the Select machinery so substream identity (and hence correlation
 // structure) is preserved. The partitioning must have been built for this
-// relation.
+// relation at its current version: reading a shard of a partitioning whose
+// version was superseded by a delta would silently mix post-delta data
+// into pre-delta shard boundaries, so it fails with ErrStaleView instead
+// (take a fresh Snapshot and re-partition).
 func (r *Relation) Shard(p *Partitioning, shard int) (*Relation, error) {
+	if v := r.Version(); p.Version != v {
+		staleViews.Add(1)
+		return nil, &StaleViewError{Table: r.name, ViewVersion: p.Version, BaseVersion: v}
+	}
 	if len(p.ShardOf) != r.n {
 		return nil, fmt.Errorf("relation: partitioning covers %d tuples, relation has %d", len(p.ShardOf), r.n)
 	}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"spq/internal/dist"
 	"spq/internal/rng"
@@ -133,9 +134,31 @@ type Relation struct {
 	// relations (identity).
 	origIdx []int
 
-	// version counts schema and means mutations; the engine's plan cache
-	// keys on it so cached plans die when a registered relation changes.
-	version uint64
+	// version counts mutations; atomic because ApplyDelta runs concurrently
+	// with readers. The engine's plan and result caches key on it.
+	version atomic.Uint64
+
+	// Mutation spine (delta.go). mutMu serializes mutators and snapshot
+	// creation; snap memoizes the immutable snapshot of the current
+	// version; base links a snapshot back to the mutable relation it
+	// shadows (nil otherwise); view marks relations produced by
+	// Select/SelectIndices, which reject ApplyDelta. colEpochs records the
+	// version at which each column last changed through a delta,
+	// memberEpoch the version of the last membership (count/order) change,
+	// and wholesaleEpoch the version of the last schema or full-column
+	// mutation (nothing older can be delta-maintained). deltaLog keeps a
+	// bounded history of change sets for Changes; nextOrig is the
+	// original-index high-water mark once deletes/appends start shifting
+	// the index space.
+	mutMu          sync.Mutex
+	snap           *Relation
+	base           *Relation
+	view           bool
+	colEpochs      map[string]uint64
+	memberEpoch    uint64
+	wholesaleEpoch uint64
+	deltaLog       []*ChangeSet
+	nextOrig       int
 
 	// parts caches Partitionings by canonical spec, and groupSets the
 	// shard-count-independent clustering level, each entry tagged with the
@@ -145,10 +168,20 @@ type Relation struct {
 	groupSets map[string]*groupSet
 }
 
-// Version returns a counter incremented by every mutation of the relation's
-// schema or cached means. Views snapshot the version of the relation they
-// were derived from.
-func (r *Relation) Version() uint64 { return r.version }
+// Version returns a counter incremented by every mutation of the relation.
+// Views and snapshots pin the version of the relation they were derived
+// from.
+func (r *Relation) Version() uint64 { return r.version.Load() }
+
+// bumpWholesale records a whole-relation mutation (schema change or a full
+// means recomputation): every delta-scoped consumer must rebuild from
+// scratch, so the change-set log restarts here.
+func (r *Relation) bumpWholesale() {
+	v := r.version.Add(1)
+	r.wholesaleEpoch = v
+	r.deltaLog = nil
+	r.snap = nil
+}
 
 // New creates a relation with n tuples and no columns.
 func New(name string, n int) *Relation {
@@ -172,14 +205,18 @@ func (r *Relation) AddDet(name string, values []float64) error {
 	if len(values) != r.n {
 		return fmt.Errorf("relation: column %q has %d values, want %d", name, len(values), r.n)
 	}
+	r.mutMu.Lock()
+	defer r.mutMu.Unlock()
 	if r.hasAttr(name) {
 		return fmt.Errorf("relation: duplicate attribute %q", name)
 	}
 	r.detIdx[name] = len(r.detCols)
 	r.detNames = append(r.detNames, name)
+	r.lazyMu.Lock()
 	r.detCols = append(r.detCols, values)
+	r.lazyMu.Unlock()
 	r.detSrcs = append(r.detSrcs, nil)
-	r.version++
+	r.bumpWholesale()
 	return nil
 }
 
@@ -191,25 +228,31 @@ func (r *Relation) AddDetSource(name string, src ColumnSource) error {
 	if src.Len() != r.n {
 		return fmt.Errorf("relation: column %q source has %d values, want %d", name, src.Len(), r.n)
 	}
+	r.mutMu.Lock()
+	defer r.mutMu.Unlock()
 	if r.hasAttr(name) {
 		return fmt.Errorf("relation: duplicate attribute %q", name)
 	}
 	r.detIdx[name] = len(r.detCols)
 	r.detNames = append(r.detNames, name)
+	r.lazyMu.Lock()
 	r.detCols = append(r.detCols, nil)
+	r.lazyMu.Unlock()
 	r.detSrcs = append(r.detSrcs, src)
-	r.version++
+	r.bumpWholesale()
 	return nil
 }
 
 // AddStoch adds a stochastic attribute backed by a VG function.
 func (r *Relation) AddStoch(name string, vg VGFunc) error {
+	r.mutMu.Lock()
+	defer r.mutMu.Unlock()
 	if r.hasAttr(name) {
 		return fmt.Errorf("relation: duplicate attribute %q", name)
 	}
 	r.stochIdx[name] = len(r.stochs)
 	r.stochs = append(r.stochs, stochAttr{name: name, vg: vg})
-	r.version++
+	r.bumpWholesale()
 	return nil
 }
 
@@ -367,6 +410,8 @@ func (r *Relation) Realize(src rng.Source, attr string, scenario int, out []floa
 // averages over sampleM scenarios drawn from src (which should be the
 // validation source).
 func (r *Relation) ComputeMeans(src rng.Source, sampleM int) {
+	r.mutMu.Lock()
+	defer r.mutMu.Unlock()
 	for _, sa := range r.stochs {
 		col := make([]float64, r.n)
 		exact := true
@@ -394,7 +439,7 @@ func (r *Relation) ComputeMeans(src rng.Source, sampleM int) {
 		}
 		r.means[sa.name] = col
 	}
-	r.version++
+	r.bumpWholesale()
 }
 
 // SetMeans overrides the cached mean column for a stochastic attribute.
@@ -405,8 +450,10 @@ func (r *Relation) SetMeans(attr string, means []float64) error {
 	if len(means) != r.n {
 		return errors.New("relation: means length mismatch")
 	}
+	r.mutMu.Lock()
+	defer r.mutMu.Unlock()
 	r.means[attr] = means
-	r.version++
+	r.bumpWholesale()
 	return nil
 }
 
@@ -448,9 +495,10 @@ func (r *Relation) Select(keep func(tuple int) bool) *Relation {
 // deterministic values are gathered.
 func (r *Relation) SelectIndices(orig []int) *Relation {
 	out := New(r.name, len(orig))
+	out.view = true
 	// Construction below mutates the view; snapshot the parent's version
 	// afterwards so Version() reflects the data the view was derived from.
-	defer func() { out.version = r.version }()
+	defer func() { out.version.Store(r.Version()) }()
 	// Compose with any existing view mapping so OrigIndex is always
 	// relative to the original base relation, even for views of views.
 	out.origIdx = make([]int, len(orig))

@@ -303,6 +303,39 @@ type Query struct {
 	Objective   *Objective
 }
 
+// Attrs returns the distinct attribute names the query reads anywhere — the
+// WHERE predicate, every constraint's aggregate and filter, and the
+// objective's aggregate and filter. This is the query's column footprint:
+// a relation delta that touches none of these attributes (and does not change
+// membership) cannot change the query's result.
+func (q *Query) Attrs() []string {
+	var raw []string
+	if q.Where != nil {
+		raw = q.Where.Attrs(raw)
+	}
+	for _, c := range q.Constraints {
+		raw = append(raw, c.Expr.Attrs()...)
+		if c.Filter != nil {
+			raw = c.Filter.Attrs(raw)
+		}
+	}
+	if o := q.Objective; o != nil {
+		raw = append(raw, o.Expr.Attrs()...)
+		if o.Filter != nil {
+			raw = o.Filter.Attrs(raw)
+		}
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, a := range raw {
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
 // String renders the query in canonical sPaQL; Parse(q.String()) reproduces
 // the AST.
 func (q *Query) String() string {

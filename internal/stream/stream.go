@@ -43,10 +43,12 @@ const DefaultBlockSize = 1024
 // Pipeline-wide counters, exported through Counters for the engine's
 // /metrics and /stats surfaces.
 var (
-	blocksGenerated  atomic.Int64
-	valuesGenerated  atomic.Int64
-	pushdownKept     atomic.Int64
-	pushdownFiltered atomic.Int64
+	blocksGenerated      atomic.Int64
+	valuesGenerated      atomic.Int64
+	pushdownKept         atomic.Int64
+	pushdownFiltered     atomic.Int64
+	summaryTuplesPatched atomic.Int64
+	summaryTuplesReused  atomic.Int64
 )
 
 // CountersSnapshot reports the cumulative pipeline counters.
@@ -59,15 +61,21 @@ type CountersSnapshot struct {
 	// eliminated by predicate pushdown before scenario generation.
 	PushdownKept     int64
 	PushdownFiltered int64
+	// SummaryTuplesPatched / SummaryTuplesReused count summary tuples
+	// recomputed by delta patching versus carried over unchanged.
+	SummaryTuplesPatched int64
+	SummaryTuplesReused  int64
 }
 
 // Counters returns the cumulative pipeline counters.
 func Counters() CountersSnapshot {
 	return CountersSnapshot{
-		BlocksGenerated:  blocksGenerated.Load(),
-		ValuesGenerated:  valuesGenerated.Load(),
-		PushdownKept:     pushdownKept.Load(),
-		PushdownFiltered: pushdownFiltered.Load(),
+		BlocksGenerated:      blocksGenerated.Load(),
+		ValuesGenerated:      valuesGenerated.Load(),
+		PushdownKept:         pushdownKept.Load(),
+		PushdownFiltered:     pushdownFiltered.Load(),
+		SummaryTuplesPatched: summaryTuplesPatched.Load(),
+		SummaryTuplesReused:  summaryTuplesReused.Load(),
 	}
 }
 
@@ -240,7 +248,7 @@ func (c *ScenarioCursor) value(tuple, scen int) (float64, error) {
 // materialized set for every worker count.
 func (c *ScenarioCursor) Summarize(ctx context.Context, chosen []int, dir scenario.Direction, accel []bool, workers int) (*scenario.Summary, error) {
 	n := c.Rel.N()
-	out := &scenario.Summary{Attr: c.Name, Values: make([]float64, n), Chosen: append([]int(nil), chosen...)}
+	out := &scenario.Summary{Attr: c.Name, Values: make([]float64, n), Chosen: append([]int(nil), chosen...), Dir: dir, Accel: cloneAccel(accel)}
 	bs := c.block()
 	err := par.Ranges(ctx, n, workers, func(_, shardLo, shardHi int) error {
 		for lo := shardLo; lo < shardHi; lo += bs {
@@ -279,6 +287,57 @@ func (c *ScenarioCursor) Summarize(ctx context.Context, chosen []int, dir scenar
 	if err != nil {
 		return nil, err
 	}
+	return out, nil
+}
+
+func cloneAccel(accel []bool) []bool {
+	if accel == nil {
+		return nil
+	}
+	return append([]bool(nil), accel...)
+}
+
+// PatchSummarize re-folds only the touched tuples of a previously built
+// summary against this cursor's (post-delta) relation, reusing every other
+// tuple unchanged — k×|Chosen| realizations instead of N×|Chosen|. The
+// cursor must realize the same inner function over the same scenario
+// stream as the one that built prev; untouched tuples then realize
+// identically (coordinate-pure VGs), making the patched summary
+// bit-identical to a full re-summarization.
+func (c *ScenarioCursor) PatchSummarize(ctx context.Context, prev *scenario.Summary, touched []int) (*scenario.Summary, error) {
+	out := &scenario.Summary{
+		Attr:   prev.Attr,
+		Values: append([]float64(nil), prev.Values...),
+		Chosen: prev.Chosen,
+		Dir:    prev.Dir,
+		Accel:  prev.Accel,
+	}
+	for _, i := range touched {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		d := prev.Dir
+		if prev.Accel != nil && prev.Accel[i] {
+			d = d.Opposite()
+		}
+		v, err := c.value(i, prev.Chosen[0])
+		if err != nil {
+			return nil, err
+		}
+		for _, j := range prev.Chosen[1:] {
+			w, err := c.value(i, j)
+			if err != nil {
+				return nil, err
+			}
+			if (d == Min && w < v) || (d == Max && w > v) {
+				v = w
+			}
+		}
+		out.Values[i] = v
+	}
+	valuesGenerated.Add(int64(len(touched) * len(prev.Chosen)))
+	summaryTuplesPatched.Add(int64(len(touched)))
+	summaryTuplesReused.Add(int64(len(prev.Values) - len(touched)))
 	return out, nil
 }
 

@@ -171,6 +171,39 @@ func ConfigureBlockCache(blockVals, maxBlocks int) {
 	relation.ConfigureBlockCache(blockVals, maxBlocks)
 }
 
+// Mutable-relation re-exports (see internal/relation/delta.go): a Delta is a
+// batch mutation applied to a base relation with Relation.ApplyDelta; the
+// returned ChangeSet records the version transition and footprint that the
+// engine's delta-scoped invalidation keys off. Snapshots taken before a delta
+// keep serving their frozen version; views that straddle a version boundary
+// fail fast with ErrStaleView.
+type (
+	// Delta is a batch mutation: cell upserts, VG replacements, tuple
+	// deletes, and tuple appends, applied atomically as one new version.
+	Delta = relation.Delta
+	// VGUpdate replaces a stochastic attribute's VG function in a Delta.
+	VGUpdate = relation.VGUpdate
+	// ChangeSet is the footprint of one or more applied deltas: the columns
+	// and tuples touched, and whether membership changed.
+	ChangeSet = relation.ChangeSet
+	// StaleViewError reports a derived view used across a version boundary.
+	StaleViewError = relation.StaleViewError
+	// DeltaStatsSnapshot is a snapshot of the package-wide delta counters.
+	DeltaStatsSnapshot = relation.DeltaStatsSnapshot
+)
+
+// ErrStaleView matches (with errors.Is) any StaleViewError.
+var ErrStaleView = relation.ErrStaleView
+
+// DeltaStats snapshots the process-wide delta and partition-maintenance
+// counters (cells patched, shards rebuilt vs retained, stale-view errors).
+func DeltaStats() DeltaStatsSnapshot { return relation.DeltaStats() }
+
+// SetDeltaLogCap bounds how many change sets each relation retains for
+// delta-scoped invalidation (default 64). Older versions fall back to
+// wholesale invalidation.
+func SetDeltaLogCap(n int) { relation.SetDeltaLogCap(n) }
+
 // NewSource creates a root randomness source for scenario generation.
 func NewSource(seed uint64) Source { return rng.NewSource(seed) }
 
