@@ -32,9 +32,21 @@ const (
 	CodeNotFound = "not_found"
 	// CodeMethodNotAllowed reports an HTTP method the route does not serve.
 	CodeMethodNotAllowed = "method_not_allowed"
-	// CodeOverloaded reports admission rejection (HTTP 429); the response
+	// CodeOverloaded reports admission rejection because the engine's global
+	// capacity (in-flight + queue) is exhausted (HTTP 429); the response
 	// carries Retry-After.
 	CodeOverloaded = "overloaded"
+	// CodeTenantQuota reports admission rejection because the request's
+	// tenant hit its own queue-depth quota while the engine still had global
+	// capacity (HTTP 429 + Retry-After). Distinguished from CodeOverloaded so
+	// a tenant can tell "the fleet is full, back off globally" from "my lane
+	// is full, my own traffic is the problem".
+	CodeTenantQuota = "tenant_quota"
+	// CodeDegradedUnavailable reports that an engine-budgeted (query-class or
+	// deadline-derived) evaluation ran out of budget before finding any
+	// feasible package, so there was nothing to degrade to (HTTP 429 +
+	// Retry-After; retrying when the system is less loaded may succeed).
+	CodeDegradedUnavailable = "degraded_unavailable"
 	// CodeTimeout reports a query that exceeded its evaluation deadline.
 	CodeTimeout = "timeout"
 	// CodeCancelled reports a query cancelled by the caller.
@@ -171,6 +183,13 @@ func (s *SolveSpec) Key() string {
 	return fmt.Sprintf("n=%d,hi=%d,lo=%d,h=%016x", len(s.Subset), len(s.VarHi), len(s.VarLo), h.Sum64())
 }
 
+// TenantHeader is the HTTP header that names the tenant a request is
+// admitted under. It overrides SubmitRequest.Tenant when both are present;
+// requests carrying neither run as the default tenant. The tenant label is
+// an admission-scheduling concern only: it never affects the evaluation
+// result or joins any cache key.
+const TenantHeader = "X-Spq-Tenant"
+
 // TraceHeader is the HTTP header that propagates a coordinator's trace
 // across a dispatch hop: "<trace-id>/<parent-span-name>". A worker that
 // receives it roots its job's span tree under the caller's trace ID, so the
@@ -263,6 +282,16 @@ type SubmitRequest struct {
 	// query's table (solver-to-solver dispatch). The job's result then
 	// carries the raw solution (QueryResult.Raw).
 	Solve *SolveSpec `json:"solve,omitempty"`
+	// Tenant names the tenant the request is admitted under ("" = default).
+	// The TenantHeader, when present, takes precedence. Tenants shape
+	// admission scheduling only — the evaluation result is bit-identical
+	// whatever the label, and it stays out of every cache key.
+	Tenant string `json:"tenant,omitempty"`
+	// Class names the query class whose server-side budget (wall time, B&B
+	// nodes) bounds the evaluation ("" = no class budget). A binding class
+	// budget degrades the result to the anytime best-so-far package
+	// (QueryResult.Degraded) instead of failing the job.
+	Class string `json:"class,omitempty"`
 	// TraceParent, when non-empty, nests the job's span tree under an
 	// upstream trace ("<trace-id>/<parent-span-name>"). It travels as the
 	// TraceHeader, not in the body, and is observational only: it never
@@ -415,6 +444,14 @@ type QueryResult struct {
 	PlanCacheHit   bool        `json:"plan_cache_hit,omitempty"`
 	ResultCacheHit bool        `json:"result_cache_hit,omitempty"`
 	Sketch         *SketchInfo `json:"sketch,omitempty"`
+	// Degraded reports that an engine-applied budget (query-class or
+	// deadline-derived) cut the evaluation short and this is the anytime
+	// best-so-far feasible package rather than the converged answer. Gap is
+	// the achieved validation gap (the best epsilon upper bound observed;
+	// omitted when no finite bound was reached). Degraded results are never
+	// served from or stored into the result cache.
+	Degraded bool    `json:"degraded,omitempty"`
+	Gap      float64 `json:"gap,omitempty"`
 	// WaitMS is the time the query spent waiting for a solve slot; SolveMS
 	// the evaluation wall-clock.
 	WaitMS  int64 `json:"wait_ms"`

@@ -28,6 +28,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -86,6 +87,9 @@ type config struct {
 
 	readOnly bool
 	deltaLog int
+
+	tenants string
+	classes string
 }
 
 func main() {
@@ -116,12 +120,52 @@ func main() {
 	flag.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this separate address (empty disables; bind it privately)")
 	flag.BoolVar(&cfg.readOnly, "read-only", false, "reject table mutations (POST /v1/tables/{name}/deltas answers 405); run workers read-only so mutations funnel through the coordinator")
 	flag.IntVar(&cfg.deltaLog, "delta-log", 0, "change sets retained per relation for delta-scoped cache invalidation (0 = 64; older versions rebuild wholesale)")
+	flag.StringVar(&cfg.tenants, "tenants", "", "weighted-fair admission lanes: \"name:weight[:max_inflight[:max_queue]],...\" inline, or @file.json with a JSON array of tenant objects (empty = single default lane)")
+	flag.StringVar(&cfg.classes, "classes", "", "query-class budgets: \"name:time_limit_ms[:solver_nodes],...\" — a binding class budget degrades to the best-so-far package instead of failing")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "spqd:", err)
 		os.Exit(1)
 	}
+}
+
+// loadTenants parses the -tenants flag: "@path" loads a JSON array of
+// engine.TenantConfig objects; anything else parses as the inline
+// name:weight[:max_inflight[:max_queue]] list.
+func loadTenants(s string) ([]engine.TenantConfig, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	if !strings.HasPrefix(s, "@") {
+		return engine.ParseTenants(s)
+	}
+	data, err := os.ReadFile(strings.TrimPrefix(s, "@"))
+	if err != nil {
+		return nil, err
+	}
+	var out []engine.TenantConfig
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", strings.TrimPrefix(s, "@"), err)
+	}
+	seen := make(map[string]bool)
+	for _, t := range out {
+		if t.Name == "" {
+			return nil, fmt.Errorf("%s: tenant with empty name", strings.TrimPrefix(s, "@"))
+		}
+		if seen[t.Name] {
+			return nil, fmt.Errorf("%s: duplicate tenant %q", strings.TrimPrefix(s, "@"), t.Name)
+		}
+		seen[t.Name] = true
+		if t.Weight < 1 {
+			return nil, fmt.Errorf("%s: tenant %q: weight must be >= 1", strings.TrimPrefix(s, "@"), t.Name)
+		}
+		if t.MaxInFlight < 0 || t.MaxQueue < 0 {
+			return nil, fmt.Errorf("%s: tenant %q: caps must be >= 0", strings.TrimPrefix(s, "@"), t.Name)
+		}
+	}
+	return out, nil
 }
 
 // splitURLs parses a comma-separated URL list flag.
@@ -239,6 +283,15 @@ func run(cfg config) error {
 		relation.SetDeltaLogCap(cfg.deltaLog)
 	}
 
+	tenants, err := loadTenants(cfg.tenants)
+	if err != nil {
+		return fmt.Errorf("-tenants: %w", err)
+	}
+	classes, err := engine.ParseClasses(cfg.classes)
+	if err != nil {
+		return fmt.Errorf("-classes: %w", err)
+	}
+
 	eopts := &engine.Options{
 		MaxInFlight:          cfg.maxInFlight,
 		MaxQueue:             cfg.maxQueue,
@@ -252,6 +305,15 @@ func run(cfg config) error {
 		ReadOnly:             cfg.readOnly,
 		Logger:               logger,
 		SlowQuery:            cfg.slowQuery,
+		Tenants:              tenants,
+		Classes:              classes,
+	}
+	if len(tenants) > 0 {
+		parts := make([]string, len(tenants))
+		for i, t := range tenants {
+			parts[i] = fmt.Sprintf("%s:w%d", t.Name, t.Weight)
+		}
+		log.Printf("spqd: weighted-fair admission, %d tenant lanes: %s", len(tenants), strings.Join(parts, ", "))
 	}
 
 	// Coordinator mode: build the remote solver over the worker pool and

@@ -84,6 +84,14 @@ var ErrBadQuery = errors.New("engine: bad query")
 // so the HTTP layer can report the dedicated "unknown_method" error code.
 var ErrUnknownMethod = fmt.Errorf("%w: unknown method", ErrBadQuery)
 
+// ErrDegraded is returned when an engine-applied budget (query class or
+// request deadline) exhausted the evaluation before any feasible package
+// was found — there was nothing to degrade to. It maps to HTTP 429 with the
+// stable code "degraded_unavailable" (retrying under less load may
+// succeed). Budget cuts that do hold a feasible incumbent return it with
+// Result.Degraded set instead of this error.
+var ErrDegraded = errors.New("engine: budget exhausted before a feasible package was found")
+
 // Options tune the engine.
 type Options struct {
 	// MaxInFlight is the number of queries that may solve concurrently
@@ -147,6 +155,16 @@ type Options struct {
 	// (admission wait included) took at least this long, stamped with its
 	// trace ID and the full rendered span tree.
 	SlowQuery time.Duration
+	// Tenants configures the weighted-fair admission scheduler: one lane per
+	// named tenant plus the default lane (weight 1 unless configured).
+	// Requests with unknown or empty tenant labels run in the default lane.
+	// With no tenants configured every request shares the default lane and
+	// admission degenerates to the former global FIFO.
+	Tenants []TenantConfig
+	// Classes maps query-class names to engine-applied evaluation budgets.
+	// A binding class budget degrades the result to the anytime best-so-far
+	// package (Result.Degraded) instead of failing the query.
+	Classes map[string]ClassBudget
 }
 
 func (o *Options) withDefaults() Options {
@@ -219,6 +237,15 @@ type Request struct {
 	// ID so coordinator and worker spans correlate. Like Progress it is
 	// purely observational and never joins cache keys.
 	TraceParent string
+	// Tenant names the admission lane ("" and unknown labels fold into the
+	// default tenant). Tenancy shapes scheduling only: it never reaches the
+	// solver, the result, or any cache key.
+	Tenant string
+	// Class names the query class whose Options.Classes budget bounds the
+	// evaluation ("" = none). A binding class budget degrades rather than
+	// fails (see Result.Degraded). Like Tenant it stays out of cache keys;
+	// budget-cut results are never cached, so the keys cannot diverge.
+	Class string
 	// onAdmit, when non-nil, is called exactly once when the query acquires
 	// a solve slot (after any admission wait). The job manager uses it to
 	// move jobs from queued to running.
@@ -242,6 +269,11 @@ type Result struct {
 	Sketch *sketch.Stats
 	// Wait is the time spent in the admission queue before solving.
 	Wait time.Duration
+	// Degraded reports that an engine-applied budget (query class or the
+	// request deadline) cut the evaluation short: the Solution is the
+	// anytime best-so-far feasible package, not the converged answer. Its
+	// achieved gap is Solution.EpsUpper. Degraded results are never cached.
+	Degraded bool
 	// Trace is the evaluation's finished span tree, set only when the
 	// engine minted the trace itself (a direct Query call with no ambient
 	// span). Job submissions expose their trace via the job instead
@@ -376,13 +408,20 @@ type Stats struct {
 	// Active counts queries currently solving; Queued is the admission-queue
 	// depth (queries waiting for a solve slot, not those already solving),
 	// bounded by MaxQueue.
-	Active         int64 `json:"active"`
-	Queued         int64 `json:"queued"`
-	SolveTimeMS    int64 `json:"solve_time_ms"`
-	MaxInFlight    int   `json:"max_in_flight"`
-	MaxQueue       int   `json:"max_queue"`
-	PlanCacheLen   int   `json:"plan_cache_len"`
-	ResultCacheLen int   `json:"result_cache_len"`
+	Active int64 `json:"active"`
+	Queued int64 `json:"queued"`
+	// Degraded counts responses served as the anytime best-so-far package
+	// after an engine-applied budget (query class or request deadline)
+	// bound, summed over tenants.
+	Degraded int64 `json:"degraded"`
+	// Tenants is the per-tenant admission ledger of the weighted-fair
+	// scheduler, keyed by lane name (unknown labels fold into "default").
+	Tenants        map[string]TenantStats `json:"tenants"`
+	SolveTimeMS    int64                  `json:"solve_time_ms"`
+	MaxInFlight    int                    `json:"max_in_flight"`
+	MaxQueue       int                    `json:"max_queue"`
+	PlanCacheLen   int                    `json:"plan_cache_len"`
+	ResultCacheLen int                    `json:"result_cache_len"`
 	// Job-manager counters (the v1 async API; the legacy /query shim also
 	// runs through it). JobsRunning is a gauge of jobs currently in the
 	// running state; JobsCompleted counts terminal succeeded+failed jobs
@@ -467,9 +506,9 @@ type Stats struct {
 // Engine is a concurrent sPaQL query-execution engine over a catalog of
 // registered relations. It is safe for concurrent use.
 type Engine struct {
-	cat  Catalog
-	opts Options
-	sem  chan struct{}
+	cat   Catalog
+	opts  Options
+	sched *fairScheduler
 
 	// m holds every operational instrument (internal/obs registry handles).
 	// Stats() and GET /metrics both read from it.
@@ -503,7 +542,7 @@ func New(cat Catalog, o *Options) *Engine {
 	e := &Engine{
 		cat:      cat,
 		opts:     opts,
-		sem:      make(chan struct{}, opts.MaxInFlight),
+		sched:    newFairScheduler(opts.MaxInFlight, opts.MaxQueue, opts.Tenants),
 		plans:    newLRU(opts.PlanCacheSize),
 		jobsByID: map[string]*Job{},
 	}
@@ -934,13 +973,12 @@ func (e *Engine) query(ctx context.Context, req Request) (*Result, error) {
 		return &Result{Solution: cr.sol, Query: cr.query, Rel: cr.rel, ResultCacheHit: true, Sketch: cr.sketch}, nil
 	}
 
-	// Admission control: the total commitment (solving + waiting) may not
-	// exceed MaxInFlight + MaxQueue.
-	if e.m.queued.Add(1) > int64(e.opts.MaxInFlight+e.opts.MaxQueue) {
-		e.m.queued.Add(-1)
-		e.m.rejected.Inc()
-		return nil, ErrOverloaded
-	}
+	// Admission control: the deficit-round-robin fair scheduler bounds the
+	// total commitment (solving + waiting) by MaxInFlight + MaxQueue
+	// globally and by each tenant's own quota. The tenant label folds to
+	// its lane name here so metrics and stats stay bounded-cardinality.
+	tenant := e.sched.Canonical(req.Tenant)
+	e.m.queued.Add(1)
 	defer e.m.queued.Add(-1)
 
 	ctx, cancel := context.WithTimeout(ctx, timeout)
@@ -948,24 +986,70 @@ func (e *Engine) query(ctx context.Context, req Request) (*Result, error) {
 
 	enqueued := time.Now()
 	ws := sp.StartChild("wait")
-	select {
-	case e.sem <- struct{}{}:
-	case <-ctx.Done():
-		ws.SetAttr("error", ctx.Err().Error())
+	if err := e.sched.Acquire(ctx, tenant); err != nil {
+		ws.SetAttr("error", err.Error())
 		ws.End()
-		e.m.failures.Inc()
-		return nil, ctx.Err()
+		if errors.Is(err, ErrOverloaded) || errors.Is(err, ErrTenantQuota) {
+			e.m.rejected.Inc()
+			e.m.tenantRejected.With(tenant).Inc()
+		} else {
+			// The request entered the queue and its context expired waiting.
+			e.m.tenantQueued.With(tenant).Inc()
+			e.m.failures.Inc()
+		}
+		return nil, err
 	}
 	ws.End()
-	defer func() { <-e.sem }()
+	e.m.tenantQueued.With(tenant).Inc()
+	defer e.sched.Release(tenant)
 	wait := time.Since(enqueued)
 	e.m.admissionWait.Observe(wait.Seconds())
+	e.m.tenantAdmitted.With(tenant).Inc()
 	if req.onAdmit != nil {
 		req.onAdmit()
 	}
 
 	e.m.active.Add(1)
 	defer e.m.active.Add(-1)
+
+	// Deadline-aware degradation: clamp the evaluation's budgets so a
+	// too-slow solve returns its anytime best-so-far package instead of
+	// dying on the context deadline. The clamps are applied strictly after
+	// rkey was rendered from the pristine options, and a clamped (budget-
+	// cut) solution is never cached, so deadlines and classes stay out of
+	// every cache key and determinism is preserved. Only local anytime
+	// solvers are clamped: remote dispatch must keep its budgets verbatim
+	// (a jittery wall-clock budget would mint unique worker cache keys),
+	// and worker-side sub-problems already run under dispatched budgets.
+	engineClamped := false
+	if e.clampable(method, solver, sopts, req.Solve) {
+		if cb, ok := e.opts.Classes[req.Class]; ok && req.Class != "" {
+			if cb.TimeLimit > 0 && (opts.TimeLimit <= 0 || cb.TimeLimit < opts.TimeLimit) {
+				opts.TimeLimit = cb.TimeLimit
+				engineClamped = true
+			}
+			if cb.SolverNodes > 0 && (opts.SolverNodes <= 0 || cb.SolverNodes < opts.SolverNodes) {
+				opts.SolverNodes = cb.SolverNodes
+				engineClamped = true
+			}
+		}
+		if dl, ok := ctx.Deadline(); ok {
+			// Leave a margin so the solver's wall-clock budget binds (and
+			// returns best-so-far) before the hard context deadline kills
+			// the evaluation mid-round.
+			rem := time.Until(dl)
+			margin := rem / 10
+			if margin < 20*time.Millisecond {
+				margin = 20 * time.Millisecond
+			} else if margin > 2*time.Second {
+				margin = 2 * time.Second
+			}
+			if budget := rem - margin; budget > 0 && (opts.TimeLimit <= 0 || budget < opts.TimeLimit) {
+				opts.TimeLimit = budget
+				engineClamped = true
+			}
+		}
+	}
 
 	pls := sp.StartChild("plan")
 	var p *plan
@@ -1050,13 +1134,44 @@ func (e *Engine) query(ctx context.Context, req Request) (*Result, error) {
 	// load-degraded answer — so it is not cached. (For sketch, the check
 	// sees the refine solve's iterations; a budget cut inside a shard solve
 	// is not detected.)
-	if !sol.HitLimit(&opts) {
+	degraded := false
+	if sol.HitLimit(&opts) {
+		if engineClamped {
+			// An engine-applied budget bound: degrade to the anytime
+			// best-so-far package when one exists, fail with the dedicated
+			// 429 when nothing feasible was found in time.
+			if !sol.Feasible {
+				sp.SetAttr("degraded", "no_feasible")
+				e.m.failures.Inc()
+				return nil, ErrDegraded
+			}
+			degraded = true
+			sp.SetAttr("degraded", "true")
+			e.m.tenantDegraded.With(tenant).Inc()
+		}
+	} else {
 		e.resultPut(rkey, method, &cachedResult{
 			sol: sol, sketch: sstats, query: p.query, rel: p.silp.Rel,
 			table: p.table, relVersion: p.relVersion,
 		}, req.Solve)
 	}
-	return &Result{Solution: sol, Query: p.query, Rel: p.silp.Rel, CacheHit: hit, Sketch: sstats, Wait: wait}, nil
+	return &Result{Solution: sol, Query: p.query, Rel: p.silp.Rel, CacheHit: hit, Sketch: sstats, Wait: wait, Degraded: degraded}, nil
+}
+
+// clampable reports whether the engine may tighten the request's evaluation
+// budgets (class budgets, deadline-derived wall-clock clamps). Only local
+// anytime solvers qualify: remote dispatch forwards budgets verbatim into
+// worker cache keys, so a per-request jittery clamp would destroy cache
+// affinity across the fleet, and sub-problem (SolveSpec) requests already
+// run under exactly the budgets their coordinator dispatched.
+func (e *Engine) clampable(method string, solver core.Solver, sopts *sketch.Options, spec *client.SolveSpec) bool {
+	if spec != nil {
+		return false
+	}
+	if method == "sketch" {
+		return sopts.Solver == nil || sopts.Solver == core.SummarySearchSolver || sopts.Solver == core.NaiveSolver
+	}
+	return solver == core.SummarySearchSolver || solver == core.NaiveSolver
 }
 
 // Stats returns a snapshot of the engine's counters. It reads the same
@@ -1107,6 +1222,12 @@ func (e *Engine) Stats() Stats {
 		JobsCompleted:     e.m.jobsCompleted.Value(),
 		JobsCancelled:     e.m.jobsCancelled.Value(),
 		JobsEvicted:       e.m.jobsEvicted.Value(),
+	}
+	st.Tenants = e.sched.TenantsSnapshot()
+	for name, ts := range st.Tenants {
+		ts.Degraded = e.m.tenantDegraded.Value(name)
+		st.Tenants[name] = ts
+		st.Degraded += ts.Degraded
 	}
 	sc := stream.Counters()
 	st.StreamBlocks = sc.BlocksGenerated

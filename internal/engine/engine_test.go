@@ -155,18 +155,12 @@ func TestEngineAdmissionControl(t *testing.T) {
 	e := New(cat, &Options{MaxInFlight: 1, MaxQueue: -1, Parallelism: 1})
 	// MaxQueue < 0 normalizes to... nothing: -1 means no waiters allowed.
 
-	block := make(chan struct{})
-	release := sync.OnceFunc(func() { close(block) })
-	defer release()
-
-	// Occupy the only solve slot.
-	e.sem <- struct{}{}
-	e.m.queued.Add(1)
-	go func() {
-		<-block
-		e.m.queued.Add(-1)
-		<-e.sem
-	}()
+	// Occupy the only solve slot through the scheduler seam (what a running
+	// query holds while it solves).
+	if err := e.sched.Acquire(context.Background(), ""); err != nil {
+		t.Fatal(err)
+	}
+	defer e.sched.Release("")
 
 	// With the slot held and no queue capacity, a query must be rejected
 	// immediately rather than waiting.
@@ -186,12 +180,14 @@ func TestEngineAdmissionControl(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
 	e2 := New(cat, &Options{MaxInFlight: 1, MaxQueue: 4, Parallelism: 1})
-	e2.sem <- struct{}{}
+	if err := e2.sched.Acquire(context.Background(), ""); err != nil {
+		t.Fatal(err)
+	}
+	defer e2.sched.Release("")
 	_, err = e2.Query(ctx, Request{Query: testQuery, Options: smallCoreOptions()})
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("queued query err = %v, want DeadlineExceeded", err)
 	}
-	release()
 }
 
 func TestEngineQueryTimeout(t *testing.T) {
@@ -206,8 +202,13 @@ func TestEngineQueryTimeout(t *testing.T) {
 		Timeout: 100 * time.Millisecond,
 		Options: &core.Options{Seed: 1, ValidationM: 200000, InitialM: 50, IncrementM: 50, MaxM: 1000},
 	})
-	if !errors.Is(err, context.DeadlineExceeded) {
-		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	// The engine turns the request deadline into a solver budget; with no
+	// feasible incumbent by the cutoff the query degrades to ErrDegraded
+	// (429) rather than running into the raw context deadline. Accept the
+	// context error too: whether the budget or the deadline fires first
+	// depends on how long the oversized validation round overruns.
+	if !errors.Is(err, ErrDegraded) && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDegraded or DeadlineExceeded", err)
 	}
 }
 

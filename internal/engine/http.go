@@ -68,8 +68,13 @@ type QueryResponse struct {
 	// result cache without solving.
 	ResultCacheHit bool        `json:"result_cache_hit,omitempty"`
 	Sketch         *SketchInfo `json:"sketch,omitempty"`
-	WaitMS         int64       `json:"wait_ms"`
-	TotalMS        int64       `json:"total_ms"`
+	// Degraded reports that an engine-applied budget cut the evaluation
+	// short and the package is the anytime best-so-far, with Gap its
+	// achieved validation gap (omitted when no finite bound was reached).
+	Degraded bool    `json:"degraded,omitempty"`
+	Gap      float64 `json:"gap,omitempty"`
+	WaitMS   int64   `json:"wait_ms"`
+	TotalMS  int64   `json:"total_ms"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -171,6 +176,7 @@ func (e *Engine) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Method:      qr.Method,
 		Timeout:     time.Duration(qr.TimeoutMS) * time.Millisecond,
 		TraceParent: r.Header.Get(client.TraceHeader),
+		Tenant:      r.Header.Get(client.TenantHeader),
 		Options: &core.Options{
 			Seed:        qr.Seed,
 			ValidationM: qr.ValidationM,
@@ -227,6 +233,8 @@ func (e *Engine) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Package:        []PackageTuple{},
 		CacheHit:       wres.PlanCacheHit,
 		ResultCacheHit: wres.ResultCacheHit,
+		Degraded:       wres.Degraded,
+		Gap:            wres.Gap,
 		WaitMS:         wres.WaitMS,
 		TotalMS:        time.Since(start).Milliseconds(),
 	}

@@ -83,6 +83,8 @@ func engineRequest(sr *client.SubmitRequest) (Request, *client.Error) {
 		Method:      sr.Method,
 		Timeout:     time.Duration(sr.TimeoutMS) * time.Millisecond,
 		TraceParent: sr.TraceParent,
+		Tenant:      sr.Tenant,
+		Class:       sr.Class,
 	}
 	if o := sr.Options; o != nil {
 		req.Options = &core.Options{
@@ -170,6 +172,9 @@ func (e *Engine) handleV1Submit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sr.TraceParent = r.Header.Get(client.TraceHeader)
+	if t := r.Header.Get(client.TenantHeader); t != "" {
+		sr.Tenant = t // header wins over the body field
+	}
 	j, apiErr := e.submitOne(&sr)
 	if apiErr != nil {
 		writeError(w, apiErr)
@@ -251,7 +256,11 @@ func (e *Engine) handleV1Batch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out := client.BatchResponse{Jobs: make([]client.BatchItem, len(br.Queries))}
+	tenant := r.Header.Get(client.TenantHeader)
 	for i := range br.Queries {
+		if tenant != "" {
+			br.Queries[i].Tenant = tenant // header wins over the body field
+		}
 		j, apiErr := e.submitOne(&br.Queries[i])
 		if apiErr != nil {
 			out.Jobs[i] = client.BatchItem{Error: apiErr}

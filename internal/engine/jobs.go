@@ -47,16 +47,23 @@ type Job struct {
 	// without it.
 	trace *obs.Trace
 
-	mu        sync.Mutex
-	state     client.JobState
-	started   time.Time
-	finished  time.Time
-	seq       int
-	events    []client.Progress
-	bestFeas  bool
-	bestObj   float64
-	bestX     []float64
-	bestRel   *relation.Relation
+	mu       sync.Mutex
+	state    client.JobState
+	started  time.Time
+	finished time.Time
+	seq      int
+	events   []client.Progress
+	bestFeas bool
+	bestObj  float64
+	bestX    []float64
+	bestRel  *relation.Relation
+	// bestEps/bestM/bestZ/bestIter describe the adopted incumbent's round:
+	// the achieved validation gap and scenario/summary counts. They render
+	// the degraded wire result when a deadline salvages the best-so-far.
+	bestEps   float64
+	bestM     int
+	bestZ     int
+	bestIter  int
 	result    *Result
 	wire      *client.QueryResult // rendered once at completion
 	wireTr    *client.TraceSpan   // rendered once at completion
@@ -255,6 +262,10 @@ func resultToWire(res *Result, solve time.Duration, raw bool) *client.QueryResul
 	if !math.IsInf(res.EpsUpper, 0) && !math.IsNaN(res.EpsUpper) {
 		out.EpsUpper = res.EpsUpper
 	}
+	if res.Degraded {
+		out.Degraded = true
+		out.Gap = out.EpsUpper // the achieved (not converged) validation gap
+	}
 	if res.Sketch != nil {
 		out.Sketch = &client.SketchInfo{
 			Groups:     res.Sketch.Groups,
@@ -279,8 +290,15 @@ func resultToWire(res *Result, solve time.Duration, raw bool) *client.QueryResul
 func errToWire(err error) *client.Error {
 	var apiErr *client.Error
 	switch {
+	case errors.Is(err, ErrTenantQuota):
+		// Checked before ErrOverloaded so the finer code wins if both are in
+		// a chain: "my lane is full" is actionable per-tenant backpressure,
+		// "the fleet is full" calls for global backoff.
+		return &client.Error{Code: client.CodeTenantQuota, Message: err.Error(), RetryAfterMS: 1000, HTTPStatus: 429}
 	case errors.Is(err, ErrOverloaded):
 		return &client.Error{Code: client.CodeOverloaded, Message: err.Error(), RetryAfterMS: 1000, HTTPStatus: 429}
+	case errors.Is(err, ErrDegraded):
+		return &client.Error{Code: client.CodeDegradedUnavailable, Message: err.Error(), RetryAfterMS: 1000, HTTPStatus: 429}
 	case errors.Is(err, context.DeadlineExceeded):
 		return &client.Error{Code: client.CodeTimeout, Message: err.Error(), HTTPStatus: 504}
 	case errors.Is(err, context.Canceled):
@@ -438,6 +456,37 @@ func (e *Engine) runJob(ctx context.Context, j *Job, req Request) {
 		j.state = client.JobCancelled
 		j.err = &client.Error{Code: client.CodeCancelled, Message: "job cancelled by caller", HTTPStatus: 504}
 		e.m.jobsCancelled.Inc()
+	case !j.cancelled && j.bestFeas && j.bestX != nil &&
+		(errors.Is(err, context.DeadlineExceeded) || errors.Is(err, ErrDegraded)):
+		// Deadline-aware degradation, job-manager side: the evaluation died
+		// on its deadline, but the progress seam already delivered a
+		// validated feasible incumbent (every report is a candidate that
+		// passed validation against the pinned snapshot). Serve it as a
+		// degraded success instead of failing — the paper's anytime
+		// contract: the best package found within the budget.
+		j.state = client.JobSucceeded
+		size := 0.0
+		for _, v := range j.bestX {
+			size += v
+		}
+		w := &client.QueryResult{
+			Feasible:    true,
+			Degraded:    true,
+			Objective:   j.bestObj,
+			M:           j.bestM,
+			Z:           j.bestZ,
+			Iterations:  j.bestIter,
+			PackageSize: size,
+			Package:     packageOf(j.bestX, j.bestRel),
+			SolveMS:     solve.Milliseconds(),
+		}
+		if !math.IsInf(j.bestEps, 0) && !math.IsNaN(j.bestEps) {
+			w.EpsUpper = j.bestEps
+			w.Gap = j.bestEps
+		}
+		j.wire = w
+		e.m.jobsCompleted.Inc()
+		e.m.tenantDegraded.With(e.sched.Canonical(req.Tenant)).Inc()
 	default:
 		j.state = client.JobFailed
 		j.err = errToWire(err)
@@ -505,6 +554,10 @@ func (j *Job) observe(p core.Progress) {
 			j.bestObj = p.Objective
 			j.bestX = p.X
 			j.bestRel = p.Rel
+			j.bestEps = p.EpsUpper
+			j.bestM = p.M
+			j.bestZ = p.Z
+			j.bestIter = p.Iteration
 		}
 	}
 	j.bump()

@@ -59,6 +59,14 @@ type engineMetrics struct {
 	jobsEvicted   *obs.Counter
 	jobsRunning   *obs.Gauge
 
+	// Per-tenant admission counters, labelled by scheduler lane name
+	// (unknown tenant labels fold into the default lane before these are
+	// touched, so cardinality is bounded by configuration).
+	tenantAdmitted *obs.CounterVec
+	tenantQueued   *obs.CounterVec
+	tenantRejected *obs.CounterVec
+	tenantDegraded *obs.CounterVec
+
 	admissionWait *obs.Histogram
 	solveLatency  *obs.Histogram
 	cancelLatency *obs.Histogram
@@ -110,6 +118,11 @@ func newEngineMetrics(e *Engine) *engineMetrics {
 	m.jobsCancelled = r.NewCounter("spq_jobs_cancelled_total", "Jobs cancelled by the caller.")
 	m.jobsEvicted = r.NewCounter("spq_jobs_evicted_total", "Finished jobs dropped from the bounded history.")
 	m.jobsRunning = r.NewGauge("spq_jobs_running", "Jobs currently in the running state.")
+
+	m.tenantAdmitted = r.NewCounterVec("spq_tenant_admitted_total", "Queries admitted to a solve slot, by tenant lane.", "tenant")
+	m.tenantQueued = r.NewCounterVec("spq_tenant_queued_total", "Queries that entered the admission queue, by tenant lane.", "tenant")
+	m.tenantRejected = r.NewCounterVec("spq_tenant_rejected_total", "Queries rejected by admission control (overloaded or tenant_quota), by tenant lane.", "tenant")
+	m.tenantDegraded = r.NewCounterVec("spq_tenant_degraded_total", "Responses degraded to the anytime best-so-far package by an engine-applied budget, by tenant lane.", "tenant")
 
 	m.admissionWait = r.NewHistogram("spq_admission_wait_seconds", "Time queries waited for a solve slot.", nil)
 	m.solveLatency = r.NewHistogram("spq_solve_seconds", "Evaluation wall-clock per solved query (cache hits excluded).", nil)

@@ -67,6 +67,7 @@ func (r *Registry) Handler() http.Handler {
 // Counter is a monotonically increasing atomic int64.
 type Counter struct {
 	name, help string
+	labels     string // rendered label pairs, e.g. `tenant="acme"` (may be empty)
 	v          atomic.Int64
 }
 
@@ -88,7 +89,79 @@ func (c *Counter) Value() int64 { return c.v.Load() }
 
 func (c *Counter) write(w io.Writer) {
 	writeHeader(w, c.name, c.help, "counter")
+	c.writeRow(w)
+}
+
+func (c *Counter) writeRow(w io.Writer) {
+	if c.labels != "" {
+		fmt.Fprintf(w, "%s{%s} %d\n", c.name, c.labels, c.v.Load())
+		return
+	}
 	fmt.Fprintf(w, "%s %d\n", c.name, c.v.Load())
+}
+
+// ---- CounterVec ----
+
+// CounterVec is a family of counters split by one label (e.g. tenant).
+// Children are created on first use and rendered in label order. Callers
+// are expected to bound label cardinality themselves (the engine folds
+// unknown tenants into the default tenant before touching the vec).
+type CounterVec struct {
+	name, help string
+	label      string
+	mu         sync.Mutex
+	children   map[string]*Counter
+}
+
+// NewCounterVec registers and returns a counter family keyed by a single
+// label.
+func (r *Registry) NewCounterVec(name, help, label string) *CounterVec {
+	v := &CounterVec{name: name, help: help, label: label,
+		children: make(map[string]*Counter)}
+	r.register(name, v)
+	return v
+}
+
+// With returns the child counter for the given label value.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.children[value]
+	if !ok {
+		c = &Counter{name: v.name, help: v.help,
+			labels: v.label + "=" + strconv.Quote(value)}
+		v.children[value] = c
+	}
+	return c
+}
+
+// Value returns the current count for the given label value (0 when the
+// child has never been touched).
+func (v *CounterVec) Value(value string) int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.children[value]; ok {
+		return c.Value()
+	}
+	return 0
+}
+
+func (v *CounterVec) write(w io.Writer) {
+	writeHeader(w, v.name, v.help, "counter")
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	kids := make([]*Counter, len(keys))
+	for i, k := range keys {
+		kids[i] = v.children[k]
+	}
+	v.mu.Unlock()
+	for _, c := range kids {
+		c.writeRow(w)
+	}
 }
 
 // ---- Gauge ----

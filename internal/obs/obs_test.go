@@ -165,6 +165,39 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+// TestCounterVec covers the labelled counter family the engine uses for
+// per-tenant admission counters: lazy child creation, Value for untouched
+// children, sorted deterministic rendering under one TYPE header, and
+// promtext-lintable output with quoted label values.
+func TestCounterVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("spq_tenant_admitted_total", "Admissions by tenant.", "tenant")
+	v.With("zeta").Inc()
+	v.With("acme").Inc()
+	v.With("acme").Add(2)
+	if got := v.Value("acme"); got != 3 {
+		t.Fatalf("acme = %d, want 3", got)
+	}
+	if got := v.Value("never"); got != 0 {
+		t.Fatalf("untouched child = %d, want 0", got)
+	}
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	lintPromText(t, out)
+	if n := strings.Count(out, "# TYPE spq_tenant_admitted_total counter"); n != 1 {
+		t.Fatalf("want exactly one TYPE header, got %d in:\n%s", n, out)
+	}
+	acme := strings.Index(out, `spq_tenant_admitted_total{tenant="acme"} 3`)
+	zeta := strings.Index(out, `spq_tenant_admitted_total{tenant="zeta"} 1`)
+	if acme < 0 || zeta < 0 {
+		t.Fatalf("missing child rows in:\n%s", out)
+	}
+	if acme > zeta {
+		t.Fatalf("children not rendered in sorted label order:\n%s", out)
+	}
+}
+
 // promtext lint: every non-comment line of the exposition must match the
 // text-format grammar (metric name, optional label set, float value).
 var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (-?[0-9.e+-]+|[+-]Inf|NaN)$`)

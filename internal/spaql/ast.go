@@ -120,8 +120,12 @@ func (e LinExpr) String() string {
 }
 
 func trimFloat(v float64) string {
-	s := fmt.Sprintf("%g", v)
-	return s
+	if v == 0 {
+		// Fold negative zero: "-0" would not re-lex as a single number
+		// token in every term position, and -0 == 0 anywhere it is used.
+		return "0"
+	}
+	return fmt.Sprintf("%g", v)
 }
 
 // AggKind distinguishes COUNT(*) from SUM(f(R)).

@@ -1,0 +1,55 @@
+package spaql
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fuzzSeeds covers every grammar production: aliases, REPEAT, WHERE
+// predicates (AND/OR/NOT, parens), plain/expected/probabilistic
+// constraints, BETWEEN, PaQL general-form filters, the four objective
+// kinds, unicode comparison glyphs, comments, signed and scientific
+// numbers, and the historical round-trip traps (negative-zero
+// coefficients, division coefficients, constant folding).
+var fuzzSeeds = []string{
+	`SELECT PACKAGE(*) FROM stocks`,
+	`SELECT PACKAGE(*) AS p FROM stocks REPEAT 2`,
+	`SELECT PACKAGE(*) FROM stocks WHERE price > 10 AND NOT (sector = 1 OR beta <= 0.5)`,
+	`SELECT PACKAGE(*) FROM stocks SUCH THAT SUM(price) <= 300 AND SUM(gain) >= -5 WITH PROBABILITY >= 0.8 MAXIMIZE EXPECTED SUM(gain)`,
+	`SELECT PACKAGE(*) FROM t SUCH THAT COUNT(*) BETWEEN 2 AND 10 MINIMIZE COUNT(*)`,
+	`SELECT PACKAGE(*) FROM t SUCH THAT (SELECT SUM(2 * x + y / 4 - 1) WHERE x > 0 FROM P) >= 7`,
+	`SELECT PACKAGE(*) FROM t SUCH THAT EXPECTED SUM(gain) >= 0 MAXIMIZE PROBABILITY OF SUM(gain) >= 5`,
+	`SELECT PACKAGE(*) FROM t MINIMIZE (SELECT SUM(cost) WHERE cost > 0 FROM P)`,
+	`SELECT PACKAGE(*) FROM t SUCH THAT SUM(price) ≤ 100 AND SUM(gain) ≥ 0.5`,
+	"SELECT PACKAGE(*) FROM t -- comment\n SUCH THAT COUNT(*) <= 3",
+	`SELECT PACKAGE(*) FROM t SUCH THAT SUM(y - 0 * x) >= 0`,
+	`SELECT PACKAGE(*) FROM t SUCH THAT SUM(-x + 1e3 * y) <= 2.5e-2`,
+	`SELECT PACKAGE(*) FROM t SUCH THAT SUM(1 + x + 2) >= 0`,
+	`SELECT PACKAGE(*) FROM t SUCH THAT COUNT(*) <> 4 WITH PROBABILITY <= 1`,
+}
+
+// FuzzParse asserts the parser's two safety properties on arbitrary input:
+// it never panics, and any accepted query renders to a canonical form that
+// reparses to the identical AST (with a stable canonical rendering).
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return // rejected input is fine; panics and bad round-trips are not
+		}
+		canonical := q.String()
+		q2, err := Parse(canonical)
+		if err != nil {
+			t.Fatalf("canonical render does not reparse: %v\ninput:  %q\nrender: %q", err, input, canonical)
+		}
+		if !reflect.DeepEqual(q, q2) {
+			t.Fatalf("round-trip AST mismatch\ninput:  %q\nrender: %q\nfirst:  %#v\nsecond: %#v", input, canonical, q, q2)
+		}
+		if again := q2.String(); again != canonical {
+			t.Fatalf("canonical render unstable: %q then %q", canonical, again)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package spaql
 
 import (
 	"fmt"
+	"math"
 )
 
 // Parse parses an sPaQL query string into an AST. The grammar follows
@@ -437,6 +438,9 @@ func (p *parser) parseTerm(e *LinExpr, sign float64) error {
 			return nil
 		}
 		e.Const += coef
+		if math.IsInf(e.Const, 0) || math.IsNaN(e.Const) {
+			return p.errorf("constant term overflows")
+		}
 		return nil
 	case tokIdent:
 		p.i++
@@ -458,6 +462,9 @@ func (p *parser) parseTerm(e *LinExpr, sign float64) error {
 			}
 			p.i++
 			coef /= num.num
+			if math.IsInf(coef, 0) || math.IsNaN(coef) {
+				return p.errorf("coefficient overflows")
+			}
 		}
 		e.Terms = append(e.Terms, Term{Coef: coef, Attr: t.text})
 		return nil

@@ -289,6 +289,13 @@ type (
 	EngineResult = engine.Result
 	// EngineStats is a snapshot of the engine's counters.
 	EngineStats = engine.Stats
+	// TenantConfig describes one tenant lane of the engine's weighted-fair
+	// admission scheduler (EngineOptions.Tenants).
+	TenantConfig = engine.TenantConfig
+	// ClassBudget is a per-query-class evaluation budget
+	// (EngineOptions.Classes); a binding budget degrades the answer to the
+	// anytime best-so-far package instead of failing the query.
+	ClassBudget = engine.ClassBudget
 )
 
 // Async job API re-exports (the v1 surface; see internal/engine/jobs.go
@@ -306,6 +313,15 @@ type (
 
 // ErrOverloaded reports an engine query rejected by admission control.
 var ErrOverloaded = engine.ErrOverloaded
+
+// ErrTenantQuota reports an engine query rejected by its own tenant's queue
+// quota while the engine as a whole still had room.
+var ErrTenantQuota = engine.ErrTenantQuota
+
+// ErrDegraded reports an engine-applied budget that bound before any
+// feasible package existed; when an incumbent does exist the engine returns
+// it with EngineResult.Degraded set instead of this error.
+var ErrDegraded = engine.ErrDegraded
 
 // NewEngine creates a concurrent execution engine over the database's
 // registered relations. Opts may be nil for defaults (one solve slot and one
